@@ -1,0 +1,180 @@
+// Shared helpers for the experiment binaries: standard rig construction for
+// the three network flavours over a common synthetic ledger, plus uniform
+// headline printing. Every bench prints the rows of one paper table/figure
+// (see DESIGN.md experiment index) through ici::Table.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baseline/fullrep.h"
+#include "baseline/rapidchain.h"
+#include "chain/workload.h"
+#include "common/table.h"
+#include "ici/network.h"
+#include "storage/storage_meter.h"
+
+namespace ici::bench {
+
+inline void print_experiment_header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+/// Builds a valid chain with the given shape (deterministic for a seed).
+inline Chain make_chain(std::size_t blocks, std::size_t txs_per_block,
+                        std::uint64_t seed = 42) {
+  ChainGenConfig cfg;
+  cfg.blocks = blocks;
+  cfg.txs_per_block = txs_per_block;
+  cfg.workload.seed = seed;
+  cfg.workload.wallet_count = 64;
+  cfg.workload.genesis_outputs_per_wallet = 8;
+  return ChainGenerator(cfg).generate();
+}
+
+/// ICI network preloaded with `chain` (storage experiments fast path).
+inline std::unique_ptr<core::IciNetwork> make_ici_preloaded(const Chain& chain,
+                                                            std::size_t nodes,
+                                                            std::size_t clusters,
+                                                            std::size_t replication = 1) {
+  core::IciNetworkConfig cfg;
+  cfg.node_count = nodes;
+  cfg.ici.cluster_count = clusters;
+  cfg.ici.replication = replication;
+  auto net = std::make_unique<core::IciNetwork>(cfg);
+  net->init_with_genesis(chain.at_height(0));
+  net->preload_chain(chain);
+  return net;
+}
+
+inline std::unique_ptr<baseline::RapidChainNetwork> make_rapidchain_preloaded(
+    const Chain& chain, std::size_t nodes, std::size_t committees) {
+  baseline::RapidChainConfig cfg;
+  cfg.node_count = nodes;
+  cfg.committee_count = committees;
+  auto net = std::make_unique<baseline::RapidChainNetwork>(cfg);
+  net->init_with_genesis(chain.at_height(0));
+  net->preload_chain(chain);
+  return net;
+}
+
+inline std::unique_ptr<baseline::FullRepNetwork> make_fullrep_preloaded(const Chain& chain,
+                                                                        std::size_t nodes) {
+  baseline::FullRepConfig cfg;
+  cfg.node_count = nodes;
+  cfg.validate = false;  // storage-only runs skip the N UTXO copies
+  auto net = std::make_unique<baseline::FullRepNetwork>(cfg);
+  net->init_with_genesis(chain.at_height(0));
+  net->preload_chain(chain);
+  return net;
+}
+
+/// Mean per-node body bytes (headers excluded — shared constant).
+inline double mean_body_bytes(const std::vector<const BlockStore*>& stores) {
+  double total = 0;
+  for (const BlockStore* s : stores) total += static_cast<double>(s->body_bytes());
+  return stores.empty() ? 0.0 : total / static_cast<double>(stores.size());
+}
+
+/// A live (message-accurate) ICI rig: generator + chain + network share one
+/// genesis so dissemination experiments can produce valid blocks on demand.
+struct LiveIciRig {
+  LiveIciRig(std::size_t nodes, std::size_t clusters, std::size_t txs_per_block,
+             std::size_t replication = 1, std::uint64_t seed = 42,
+             const std::string& clustering = "kmeans") {
+    ChainGenConfig ccfg;
+    ccfg.txs_per_block = txs_per_block;
+    ccfg.workload.seed = seed;
+    ccfg.workload.wallet_count = 64;
+    ccfg.workload.genesis_outputs_per_wallet = 8;
+    gen = std::make_unique<ChainGenerator>(ccfg);
+
+    core::IciNetworkConfig ncfg;
+    ncfg.node_count = nodes;
+    ncfg.ici.cluster_count = clusters;
+    ncfg.ici.replication = replication;
+    ncfg.ici.clustering = clustering;
+    ncfg.seed = seed;
+    net = std::make_unique<core::IciNetwork>(ncfg);
+
+    Block genesis = gen->workload().make_genesis();
+    gen->workload().confirm(genesis);
+    chain = std::make_unique<Chain>(genesis);
+    net->init_with_genesis(genesis);
+  }
+
+  /// Produces + disseminates one block; returns full-commit latency (µs).
+  sim::SimTime step() {
+    chain->append(gen->next_block(*chain));
+    return net->disseminate_and_settle(chain->tip());
+  }
+
+  std::unique_ptr<ChainGenerator> gen;
+  std::unique_ptr<core::IciNetwork> net;
+  std::unique_ptr<Chain> chain;
+};
+
+/// Live full-replication rig with the same workload shape.
+struct LiveFullRepRig {
+  LiveFullRepRig(std::size_t nodes, std::size_t txs_per_block, std::uint64_t seed = 42) {
+    ChainGenConfig ccfg;
+    ccfg.txs_per_block = txs_per_block;
+    ccfg.workload.seed = seed;
+    ccfg.workload.wallet_count = 64;
+    ccfg.workload.genesis_outputs_per_wallet = 8;
+    gen = std::make_unique<ChainGenerator>(ccfg);
+
+    baseline::FullRepConfig cfg;
+    cfg.node_count = nodes;
+    net = std::make_unique<baseline::FullRepNetwork>(cfg);
+
+    Block genesis = gen->workload().make_genesis();
+    gen->workload().confirm(genesis);
+    chain = std::make_unique<Chain>(genesis);
+    net->init_with_genesis(genesis);
+  }
+
+  sim::SimTime step() {
+    chain->append(gen->next_block(*chain));
+    return net->disseminate_and_settle(chain->tip());
+  }
+
+  std::unique_ptr<ChainGenerator> gen;
+  std::unique_ptr<baseline::FullRepNetwork> net;
+  std::unique_ptr<Chain> chain;
+};
+
+/// Live RapidChain rig with the same workload shape.
+struct LiveRapidChainRig {
+  LiveRapidChainRig(std::size_t nodes, std::size_t committees, std::size_t txs_per_block,
+                    std::uint64_t seed = 42) {
+    ChainGenConfig ccfg;
+    ccfg.txs_per_block = txs_per_block;
+    ccfg.workload.seed = seed;
+    ccfg.workload.wallet_count = 64;
+    ccfg.workload.genesis_outputs_per_wallet = 8;
+    gen = std::make_unique<ChainGenerator>(ccfg);
+
+    baseline::RapidChainConfig cfg;
+    cfg.node_count = nodes;
+    cfg.committee_count = committees;
+    net = std::make_unique<baseline::RapidChainNetwork>(cfg);
+
+    Block genesis = gen->workload().make_genesis();
+    gen->workload().confirm(genesis);
+    chain = std::make_unique<Chain>(genesis);
+    net->init_with_genesis(genesis);
+  }
+
+  sim::SimTime step() {
+    chain->append(gen->next_block(*chain));
+    return net->disseminate_and_settle(chain->tip());
+  }
+
+  std::unique_ptr<ChainGenerator> gen;
+  std::unique_ptr<baseline::RapidChainNetwork> net;
+  std::unique_ptr<Chain> chain;
+};
+
+}  // namespace ici::bench

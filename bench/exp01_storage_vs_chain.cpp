@@ -1,0 +1,51 @@
+// E01 [A] — Per-node storage vs chain length.
+//
+// The paper's core storage figure: as the ledger grows, a full-replication
+// node stores all of D, a RapidChain member stores its committee's shard
+// (≈ D/k_rc), and an ICIStrategy member stores only its intra-cluster
+// assignment (≈ D·r/m). All three grow linearly; the slopes differ.
+//
+// Configuration mirrors the headline setting: ICI cluster size m = 20 with
+// r = 1, RapidChain committee count k_rc = 5, so ICI/RapidChain = k_rc/m = 25%.
+#include "bench_util.h"
+
+using namespace ici;
+using namespace ici::bench;
+
+int main() {
+  constexpr std::size_t kNodes = 240;
+  constexpr std::size_t kIciClusters = 12;     // m = 20
+  constexpr std::size_t kRcCommittees = 5;     // shard = D/5
+  constexpr std::size_t kTxsPerBlock = 40;
+
+  print_experiment_header("E01", "per-node storage vs chain length (blocks)");
+  std::cout << "N=" << kNodes << "  ICI: k=" << kIciClusters << " (m="
+            << kNodes / kIciClusters << ", r=1)  RapidChain: k=" << kRcCommittees
+            << "  txs/block=" << kTxsPerBlock << "\n\n";
+
+  Table table({"blocks", "ledger D", "full-rep/node", "rapidchain/node", "ici/node",
+               "ici vs rc", "ici vs full"});
+
+  for (std::size_t blocks : {100u, 250u, 500u, 1000u}) {
+    const Chain chain = make_chain(blocks, kTxsPerBlock);
+
+    const auto fullrep = make_fullrep_preloaded(chain, kNodes);
+    const auto rapidchain = make_rapidchain_preloaded(chain, kNodes, kRcCommittees);
+    const auto ici = make_ici_preloaded(chain, kNodes, kIciClusters);
+
+    const double fr = StorageMeter::snapshot(fullrep->stores()).mean_bytes;
+    const double rc = StorageMeter::snapshot(rapidchain->stores()).mean_bytes;
+    const double ic = StorageMeter::snapshot(ici->stores()).mean_bytes;
+
+    table.row({std::to_string(blocks), format_bytes(static_cast<double>(chain.total_bytes())),
+               format_bytes(fr), format_bytes(rc), format_bytes(ic),
+               format_double(ic / rc * 100, 1) + "%", format_double(ic / fr * 100, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: all linear in blocks; ici/node ≈ 25% of rapidchain/node "
+               "(paper's headline), and a small fraction of full replication.\n"
+               "Note: ICI nodes keep ALL headers (every row includes them), so the printed "
+               "ratio sits a few points above 25%; on body bytes alone it is exactly "
+               "k_rc/m = 25% (see E08).\n";
+  return 0;
+}

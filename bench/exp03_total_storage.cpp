@@ -1,0 +1,44 @@
+// E03 [R] — Total network storage vs N (fixed ledger).
+//
+// Full replication burns N·D bytes network-wide. RapidChain burns
+// (committee size)·D. ICIStrategy burns k·r·D — and with fixed cluster size
+// m it is (N/m)·r·D, i.e. the network as a whole stores the ledger once per
+// cluster instead of once per node.
+#include "bench_util.h"
+
+using namespace ici;
+using namespace ici::bench;
+
+int main() {
+  constexpr std::size_t kBlocks = 300;
+  constexpr std::size_t kTxsPerBlock = 40;
+  constexpr std::size_t kClusterSize = 20;
+  constexpr std::size_t kCommitteeSize = 80;
+
+  print_experiment_header("E03", "total network storage vs N (fixed 300-block ledger)");
+  const Chain chain = make_chain(kBlocks, kTxsPerBlock);
+  std::cout << "ledger D = " << format_bytes(static_cast<double>(chain.total_bytes()))
+            << "\n\n";
+
+  Table table({"N", "full-rep total", "rapidchain total", "ici total", "ici/full"});
+  for (std::size_t n : {80u, 160u, 320u, 640u}) {
+    const std::size_t k_ici = n / kClusterSize;
+    const std::size_t k_rc = std::max<std::size_t>(1, n / kCommitteeSize);
+
+    const auto fullrep = make_fullrep_preloaded(chain, n);
+    const auto rapidchain = make_rapidchain_preloaded(chain, n, k_rc);
+    const auto ici = make_ici_preloaded(chain, n, k_ici);
+
+    const double fr = static_cast<double>(StorageMeter::snapshot(fullrep->stores()).total_bytes);
+    const double rc =
+        static_cast<double>(StorageMeter::snapshot(rapidchain->stores()).total_bytes);
+    const double ic = static_cast<double>(StorageMeter::snapshot(ici->stores()).total_bytes);
+
+    table.row({std::to_string(n), format_bytes(fr), format_bytes(rc), format_bytes(ic),
+               format_double(ic / fr * 100, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: full-rep grows N·D; ici grows only with the number of "
+               "clusters (N/m)·D — the gap widens linearly with N.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E07 [R] — Block availability under churn vs intra-cluster replication r.
+//
+// Pure ICI (r=1) trades redundancy for storage: when the sole holder of a
+// block is offline, that block is unavailable inside its cluster until the
+// holder returns (other clusters still have it). r=2..3 plus the repair
+// protocol keeps availability near 1 at a storage premium.
+#include "bench_util.h"
+
+using namespace ici;
+using namespace ici::bench;
+
+int main() {
+  constexpr std::size_t kNodes = 60;
+  constexpr std::size_t kClusters = 3;
+  constexpr std::size_t kTxs = 20;
+  constexpr int kBlocks = 10;
+
+  print_experiment_header("E07", "availability under churn vs intra-cluster replication r");
+  std::cout << "N=" << kNodes << ", k=" << kClusters << " (m=" << kNodes / kClusters
+            << "), 30% of nodes churn (10 min up / 2 min down means), 30 min simulated\n\n";
+
+  Table table({"r", "cluster-local avail", "network avail", "repair copies",
+               "unavailable events", "mean bytes/node"});
+
+  for (std::size_t r : {1u, 2u, 3u}) {
+    LiveIciRig rig(kNodes, kClusters, kTxs, r);
+    for (int i = 0; i < kBlocks; ++i) rig.step();
+
+    sim::ChurnConfig churn;
+    churn.churn_fraction = 0.3;
+    churn.mean_uptime_us = 600'000'000;   // 10 min
+    churn.mean_downtime_us = 120'000'000; // 2 min
+    churn.seed = 7 + r;
+    rig.net->start_churn(churn);
+
+    // Sample availability every simulated minute for 30 minutes.
+    RunningStat availability;
+    RunningStat network_availability;
+    for (int minute = 0; minute < 30; ++minute) {
+      rig.net->simulator().run_until(rig.net->simulator().now() + 60'000'000);
+      availability.add(rig.net->availability());
+      network_availability.add(rig.net->network_availability());
+    }
+
+    table.row({std::to_string(r), format_double(availability.mean(), 4),
+               format_double(network_availability.mean(), 4),
+               std::to_string(rig.net->metrics().counter_value("repair.copies_completed")),
+               std::to_string(rig.net->metrics().counter_value("repair.unavailable_blocks")),
+               format_bytes(StorageMeter::snapshot(rig.net->stores()).mean_bytes)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: r=1 cluster-local service dips while sole holders are "
+               "offline, but the network-wide copy-per-cluster redundancy keeps blocks "
+               "servable (cross-cluster fallback turns local outages into latency); r≥2 "
+               "with repair holds ≈1.0 locally at proportionally higher storage.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// E09 [R] — Dissemination throughput vs number of clusters.
+//
+// Blocks commit when every cluster has verified them; more clusters means
+// more parallel verification units but a wider proposer fan-out (the
+// proposer ships one full body per cluster over its uplink). Throughput is
+// measured as committed blocks per simulated second of dissemination time.
+#include "bench_util.h"
+
+using namespace ici;
+using namespace ici::bench;
+
+int main() {
+  constexpr std::size_t kNodes = 120;
+  constexpr std::size_t kTxs = 60;
+  constexpr int kBlocks = 8;
+
+  print_experiment_header("E09", "dissemination throughput vs number of clusters k");
+  std::cout << "N=" << kNodes << ", txs/block=" << kTxs << ", " << kBlocks
+            << " blocks disseminated back-to-back\n\n";
+
+  Table table({"k", "m", "mean full-commit (ms)", "p99 (ms)", "blocks/s"});
+  for (std::size_t k : {2u, 4u, 8u, 15u, 30u}) {
+    LiveIciRig rig(kNodes, k, kTxs);
+    Histogram latency;
+    for (int i = 0; i < kBlocks; ++i) {
+      const sim::SimTime t = rig.step();
+      if (t > 0) latency.add(static_cast<double>(t));
+    }
+    const double mean_ms = latency.mean() / 1000.0;
+    table.row({std::to_string(k), std::to_string(kNodes / k), format_double(mean_ms, 1),
+               format_double(latency.p99() / 1000.0, 1),
+               format_double(mean_ms > 0 ? 1000.0 / mean_ms : 0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: small k (huge clusters) suffers slice fan-out inside each "
+               "cluster; very large k pays proposer uplink serialization (k full bodies). "
+               "Throughput peaks at a moderate cluster count.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E12 [R] — Intra-cluster storage balance (DESIGN.md D2 ablation).
+//
+// Compares the block→node assignment strategies on (a) storage balance in
+// a homogeneous cluster, (b) capacity-proportional placement in a
+// heterogeneous cluster, and (c) disruption when a member departs — the
+// reason rendezvous hashing is the default.
+#include "bench_util.h"
+
+#include <map>
+
+#include "cluster/assignment.h"
+
+using namespace ici;
+using namespace ici::bench;
+using namespace ici::cluster;
+
+namespace {
+
+Hash256 block_hash(std::uint64_t i) {
+  ByteWriter w;
+  w.u64(i);
+  return Hash256::of(ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+struct BalanceResult {
+  double cv = 0;
+  double max_over_mean = 0;
+  double moved_on_departure = 0;  // fraction of blocks that changed holder
+};
+
+BalanceResult evaluate(const BlockAssigner& assigner, std::vector<NodeInfo> members,
+                       std::size_t blocks) {
+  std::map<NodeId, int> load;
+  std::vector<NodeId> placement(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    placement[b] = assigner.storers(block_hash(b), b, members, 1)[0];
+    load[placement[b]]++;
+  }
+  RunningStat stat;
+  for (const auto& m : members) {
+    const auto it = load.find(m.id);
+    stat.add(it == load.end() ? 0.0 : static_cast<double>(it->second));
+  }
+
+  // Remove one member, re-derive, count moves among blocks it did NOT hold.
+  const NodeId removed = members.back().id;
+  members.pop_back();
+  std::size_t moved = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const NodeId after = assigner.storers(block_hash(b), b, members, 1)[0];
+    if (placement[b] != removed && after != placement[b]) ++moved;
+  }
+
+  BalanceResult r;
+  r.cv = stat.cv();
+  r.max_over_mean = stat.mean() > 0 ? stat.max() / stat.mean() : 0;
+  r.moved_on_departure = static_cast<double>(moved) / static_cast<double>(blocks);
+  return r;
+}
+
+std::vector<NodeInfo> cluster_members(std::size_t m, bool heterogeneous) {
+  auto nodes = generate_topology(m, 1, 5, 100.0, heterogeneous);
+  return nodes;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kMembers = 20;
+  constexpr std::size_t kBlocks = 4000;
+
+  print_experiment_header("E12", "intra-cluster storage balance and churn disruption");
+  std::cout << "cluster of " << kMembers << " members, " << kBlocks
+            << " blocks, r=1; 'moved' counts blocks that changed holder when an\n"
+            << "unrelated member departed (lower is better)\n\n";
+
+  RendezvousAssigner rendezvous(false);
+  RendezvousAssigner weighted(true);
+  RoundRobinAssigner round_robin;
+
+  Table table({"assigner", "capacity", "load CV", "max/mean", "moved on departure"});
+  const auto add_row = [&](const char* name, const BlockAssigner& a, bool hetero) {
+    const BalanceResult r = evaluate(a, cluster_members(kMembers, hetero), kBlocks);
+    table.row({name, hetero ? "heterogeneous" : "uniform", format_double(r.cv, 3),
+               format_double(r.max_over_mean, 2),
+               format_double(r.moved_on_departure * 100, 1) + "%"});
+  };
+  add_row("rendezvous", rendezvous, false);
+  add_row("rendezvous-weighted", weighted, false);
+  add_row("round-robin", round_robin, false);
+  add_row("rendezvous", rendezvous, true);
+  add_row("rendezvous-weighted", weighted, true);
+  table.print(std::cout);
+
+  // Second table: does weighted assignment track capacity?
+  std::cout << "\nCapacity tracking (heterogeneous cluster): per-member load / capacity "
+               "should be ~constant for the weighted assigner\n\n";
+  auto members = cluster_members(8, true);
+  std::map<NodeId, int> load;
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    load[weighted.storers(block_hash(b), b, members, 1)[0]]++;
+  }
+  Table t2({"member", "capacity", "blocks", "blocks/capacity"});
+  for (const auto& m : members) {
+    const double got = static_cast<double>(load[m.id]);
+    t2.row({std::to_string(m.id), format_double(m.capacity, 2), format_double(got, 0),
+            format_double(got / m.capacity, 0)});
+  }
+  t2.print(std::cout);
+  std::cout << "\nExpected shape: rendezvous CV near round-robin's (both balanced), but "
+               "round-robin reshuffles nearly everything on departure while rendezvous "
+               "moves ~0% of unaffected blocks; weighted tracks capacity within noise.\n";
+  return 0;
+}

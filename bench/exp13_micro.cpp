@@ -1,0 +1,153 @@
+// E13 [R] — Substrate micro-benchmarks (google-benchmark).
+//
+// Throughput of the primitives every experiment leans on: SHA-256, Merkle
+// trees, transaction validation, block serialization, k-means clustering,
+// and rendezvous assignment.
+#include <benchmark/benchmark.h>
+
+#include "chain/validator.h"
+#include "chain/workload.h"
+#include "cluster/assignment.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "erasure/rs.h"
+
+namespace {
+
+using namespace ici;
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(ByteSpan(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+std::vector<Hash256> leaves(std::size_t n) {
+  std::vector<Hash256> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ByteWriter w;
+    w.u64(i);
+    out.push_back(Hash256::of(ByteSpan(w.bytes().data(), w.bytes().size())));
+  }
+  return out;
+}
+
+void BM_MerkleRoot(benchmark::State& state) {
+  const auto ls = leaves(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(MerkleTree::compute_root(ls));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  const auto ls = leaves(1024);
+  const MerkleTree tree(ls);
+  const Hash256 root = tree.root();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto proof = tree.prove(i % ls.size());
+    benchmark::DoNotOptimize(MerkleTree::verify(ls[i % ls.size()], i % ls.size(), proof, root));
+    ++i;
+  }
+}
+BENCHMARK(BM_MerkleProveVerify);
+
+void BM_TxStatelessValidation(benchmark::State& state) {
+  WorkloadGenerator gen;
+  Block genesis = gen.make_genesis();
+  gen.confirm(genesis);
+  const auto txs = gen.batch(256);
+  Validator v;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.check_tx_stateless(txs[i % txs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TxStatelessValidation);
+
+void BM_BlockSerializeRoundTrip(benchmark::State& state) {
+  ChainGenConfig cfg;
+  cfg.blocks = 1;
+  cfg.txs_per_block = static_cast<std::size_t>(state.range(0));
+  const Chain chain = ChainGenerator(cfg).generate();
+  const Block& block = chain.at_height(1);
+  for (auto _ : state) {
+    const Bytes enc = block.serialize();
+    benchmark::DoNotOptimize(Block::deserialize(ByteSpan(enc.data(), enc.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block.serialized_size()));
+}
+BENCHMARK(BM_BlockSerializeRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<sim::Coord> pts;
+  for (int i = 0; i < state.range(0); ++i) {
+    pts.push_back({rng.uniform01() * 100, rng.uniform01() * 100});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::kmeans(pts, 10, {.max_iterations = 50, .seed = 1}));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_RendezvousAssignment(benchmark::State& state) {
+  const auto nodes = cluster::generate_topology(static_cast<std::size_t>(state.range(0)), 3, 1);
+  cluster::RendezvousAssigner assigner;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ByteWriter w;
+    w.u64(i++);
+    const Hash256 h = Hash256::of(ByteSpan(w.bytes().data(), w.bytes().size()));
+    benchmark::DoNotOptimize(assigner.storers(h, i, nodes, 3));
+  }
+}
+BENCHMARK(BM_RendezvousAssignment)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes payload = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const erasure::ReedSolomon rs(8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(ByteSpan(payload.data(), payload.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ReedSolomonEncode)->Arg(4096)->Arg(65536)->Arg(1048576);
+
+void BM_ReedSolomonReconstructWithErasures(benchmark::State& state) {
+  Rng rng(4);
+  const Bytes payload = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const erasure::ReedSolomon rs(8, 2);
+  auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  // Worst case: both parity shards needed (two data shards lost).
+  shards.erase(shards.begin());
+  shards.erase(shards.begin() + 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.reconstruct(shards));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ReedSolomonReconstructWithErasures)->Arg(4096)->Arg(65536)->Arg(1048576);
+
+void BM_ChainGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    ChainGenConfig cfg;
+    cfg.blocks = 10;
+    cfg.txs_per_block = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(ChainGenerator(cfg).generate());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10 * state.range(0));
+}
+BENCHMARK(BM_ChainGeneration)->Arg(10)->Arg(100);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// E17 [R, extension] — ICIStrategy vs pruned full replication.
+//
+// "Why not just prune?" is the obvious objection to collaborative storage.
+// Pruning bounds per-node storage too — but the network *forgets*: once a
+// body leaves every node's window, no one can serve it. ICIStrategy keeps
+// per-node storage comparable while the network collectively retains the
+// entire history. This bench puts the two side by side as the chain grows.
+#include "bench_util.h"
+
+#include "baseline/pruned.h"
+
+using namespace ici;
+using namespace ici::bench;
+
+int main() {
+  constexpr std::size_t kNodes = 120;
+  constexpr std::size_t kClusters = 6;  // m = 20
+  constexpr std::size_t kWindow = 128;
+  constexpr std::size_t kTxs = 40;
+
+  print_experiment_header("E17", "collaborative storage vs pruning (window=" +
+                                     std::to_string(kWindow) + " blocks)");
+  std::cout << "N=" << kNodes << "; ICI m=" << kNodes / kClusters
+            << " r=1; pruned nodes keep headers + UTXO snapshot + last " << kWindow
+            << " bodies\n\n";
+
+  Table table({"blocks", "ici bytes/node", "pruned bytes/node", "ici history served",
+               "pruned history served"});
+
+  for (std::size_t blocks : {100u, 250u, 500u, 1000u}) {
+    const Chain chain = make_chain(blocks, kTxs);
+
+    const auto ici = make_ici_preloaded(chain, kNodes, kClusters);
+
+    baseline::PrunedConfig pcfg;
+    pcfg.node_count = kNodes;
+    pcfg.window = kWindow;
+    baseline::PrunedNetwork pruned(pcfg);
+    pruned.preload_chain(chain);
+
+    // Count state the same way on both sides: the pruned node persists the
+    // full UTXO snapshot; an ICI member holds ~1/m of its cluster's UTXO
+    // set (preload skips shard state, so add it analytically: each cluster
+    // collectively holds the full set → k·U entries network-wide).
+    UtxoSet replayed;
+    for (const Block& b : chain.blocks()) {
+      for (const Transaction& tx : b.txs()) replayed.apply_tx(tx, b.header().height);
+    }
+    const double ici_state_per_node = static_cast<double>(replayed.size()) * (36 + 8 + 32) *
+                                      static_cast<double>(kClusters) /
+                                      static_cast<double>(kNodes);
+    table.row({std::to_string(blocks),
+               format_bytes(ici->storage_snapshot().mean_bytes + ici_state_per_node),
+               format_bytes(static_cast<double>(pruned.per_node_bytes())),
+               format_double(ici->availability() * 100, 1) + "%",
+               format_double(pruned.historical_availability(chain) * 100, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: both bound per-node storage, but pruning's servable "
+               "history collapses toward window/chain as the ledger grows, while "
+               "ICIStrategy serves 100% of history from every cluster at a comparable "
+               "per-node footprint (the pruned node's snapshot also grows with the UTXO "
+               "set).\n";
+  return 0;
+}

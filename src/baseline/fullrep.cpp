@@ -1,0 +1,236 @@
+#include "baseline/fullrep.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/node_info.h"
+#include "common/rng.h"
+
+namespace ici::baseline {
+
+FullRepNode::FullRepNode(FullRepNetwork& ctx, sim::NodeId id) : ctx_(ctx), id_(id) {}
+
+void FullRepNode::seed_genesis(std::shared_ptr<const Block> genesis) {
+  const Hash256 h = genesis->hash();
+  if (ctx_.config().validate) {
+    for (const Transaction& tx : genesis->txs()) utxo_.apply_tx(tx, 0);
+  }
+  store_.put_block(std::move(genesis), h);
+}
+
+void FullRepNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (const auto* inv = dynamic_cast<const InvMsg*>(msg.get())) {
+    if (!store_.has_block(inv->hash) && !requested_.contains(inv->hash)) {
+      requested_.insert(inv->hash);
+      auto req = std::make_shared<GetDataMsg>();
+      req->hash = inv->hash;
+      ctx_.network().send(id_, from, std::move(req));
+    }
+    return;
+  }
+  if (const auto* get = dynamic_cast<const GetDataMsg*>(msg.get())) {
+    if (auto block = store_.block_ptr(get->hash)) {
+      auto resp = std::make_shared<GossipBlockMsg>();
+      resp->block = std::move(block);
+      ctx_.network().send(id_, from, std::move(resp));
+    }
+    return;
+  }
+  if (const auto* gb = dynamic_cast<const GossipBlockMsg*>(msg.get())) {
+    accept_block(gb->block, from);
+    return;
+  }
+  if (const auto* sync = dynamic_cast<const SyncRequestMsg*>(msg.get())) {
+    auto resp = std::make_shared<SyncResponseMsg>();
+    for (std::uint64_t h = sync->from_height;; ++h) {
+      const auto header = store_.header_at(h);
+      if (!header) break;
+      if (auto block = store_.block_ptr(header->hash())) resp->blocks.push_back(std::move(block));
+    }
+    ctx_.network().send(id_, from, std::move(resp));
+    return;
+  }
+  if (const auto* resp = dynamic_cast<const SyncResponseMsg*>(msg.get())) {
+    for (const auto& block : resp->blocks) store_.put_block(block);
+    if (sync_done_) {
+      auto done = std::move(sync_done_);
+      sync_done_ = nullptr;
+      done(resp->blocks.size());
+    }
+    return;
+  }
+}
+
+void FullRepNode::inject_block(std::shared_ptr<const Block> block) {
+  accept_block(std::move(block), sim::kNoNode);
+}
+
+void FullRepNode::accept_block(std::shared_ptr<const Block> block, sim::NodeId from) {
+  const Hash256 hash = block->hash();
+  requested_.erase(hash);
+  if (store_.has_block(hash)) return;
+
+  if (ctx_.config().validate) {
+    // Expected linkage: this model disseminates blocks in height order.
+    const std::uint64_t tip = store_.header_count() == 0 ? 0 : store_.block_count() - 1;
+    const auto parent = store_.header_at(tip);
+    if (!parent) {
+      ctx_.metrics().counter("fullrep.orphaned").inc();
+      return;
+    }
+    const ValidationResult r =
+        validator_.validate_and_apply(*block, parent->hash(), tip + 1, utxo_);
+    if (!r) {
+      ctx_.metrics().counter("fullrep.rejected").inc();
+      return;
+    }
+    ctx_.metrics().counter("fullrep.validated").inc();
+  }
+
+  store_.put_block(block, hash);
+  ctx_.note_stored(id_, hash);
+  announce(hash, from);
+}
+
+void FullRepNode::announce(const Hash256& hash, sim::NodeId except) {
+  auto inv = std::make_shared<InvMsg>();
+  inv->hash = hash;
+  for (sim::NodeId peer : ctx_.peers(id_)) {
+    if (peer == except) continue;
+    ctx_.network().send(id_, peer, inv);
+  }
+}
+
+void FullRepNode::start_sync(sim::NodeId peer, std::function<void(std::size_t)> on_done) {
+  sync_done_ = std::move(on_done);
+  auto req = std::make_shared<SyncRequestMsg>();
+  req->from_height = 0;
+  ctx_.network().send(id_, peer, std::move(req));
+}
+
+// ---------------------------------------------------------------------------
+
+FullRepNetwork::FullRepNetwork(FullRepConfig cfg) : cfg_(cfg) {
+  if (cfg_.node_count < 2) throw std::invalid_argument("FullRepNetwork: need >= 2 nodes");
+  net_ = std::make_unique<sim::Network>(sim_, cfg_.net);
+
+  const auto infos =
+      cluster::generate_topology(cfg_.node_count, cfg_.regions, cfg_.seed, 100.0, false);
+  nodes_.reserve(infos.size());
+  coords_.reserve(infos.size());
+  for (const auto& info : infos) {
+    auto node = std::make_unique<FullRepNode>(*this, info.id);
+    const sim::NodeId assigned = net_->add_node(node.get(), info.coord);
+    if (assigned != info.id) throw std::logic_error("fullrep id mismatch");
+    nodes_.push_back(std::move(node));
+    coords_.push_back(info.coord);
+  }
+
+  // Random connected-ish peer graph: a ring (guarantees connectivity) plus
+  // random extra edges up to peer_degree.
+  Rng rng(cfg_.seed ^ 0xfeedULL);
+  peers_.assign(nodes_.size(), {});
+  auto link = [&](sim::NodeId a, sim::NodeId b) {
+    if (a == b) return;
+    auto& pa = peers_[a];
+    if (std::find(pa.begin(), pa.end(), b) != pa.end()) return;
+    pa.push_back(b);
+    peers_[b].push_back(a);
+  };
+  const auto n = static_cast<sim::NodeId>(nodes_.size());
+  for (sim::NodeId i = 0; i < n; ++i) link(i, (i + 1) % n);
+  for (sim::NodeId i = 0; i < n; ++i) {
+    while (peers_[i].size() < cfg_.peer_degree) {
+      link(i, static_cast<sim::NodeId>(rng.index(nodes_.size())));
+    }
+  }
+}
+
+FullRepNetwork::~FullRepNetwork() = default;
+
+const std::vector<sim::NodeId>& FullRepNetwork::peers(sim::NodeId id) const {
+  return peers_.at(id);
+}
+
+void FullRepNetwork::init_with_genesis(const Block& genesis) {
+  if (genesis_done_) throw std::logic_error("init_with_genesis called twice");
+  genesis_done_ = true;
+  auto shared = std::make_shared<const Block>(genesis);
+  for (auto& node : nodes_) node->seed_genesis(shared);
+}
+
+sim::SimTime FullRepNetwork::disseminate_and_settle(const Block& block) {
+  if (!genesis_done_) throw std::logic_error("call init_with_genesis first");
+  const Hash256 hash = block.hash();
+  spreads_[hash] = Spread{sim_.now(), 0, 0};
+
+  const auto proposer = static_cast<sim::NodeId>(proposer_cursor_++ % nodes_.size());
+  nodes_[proposer]->inject_block(std::make_shared<const Block>(block));
+  sim_.run();
+
+  const Spread& spread = spreads_.at(hash);
+  if (spread.finished == 0) return 0;  // did not reach everyone
+  return spread.finished - spread.started;
+}
+
+void FullRepNetwork::note_stored(sim::NodeId id, const Hash256& hash) {
+  (void)id;
+  const auto it = spreads_.find(hash);
+  if (it == spreads_.end()) return;
+  it->second.holders += 1;
+  std::size_t online = 0;
+  for (sim::NodeId i = 0; i < nodes_.size(); ++i) {
+    if (net_->online(static_cast<sim::NodeId>(i))) ++online;
+  }
+  if (it->second.holders >= online) it->second.finished = sim_.now();
+}
+
+void FullRepNetwork::preload_chain(const Chain& chain) {
+  if (!genesis_done_) throw std::logic_error("call init_with_genesis first");
+  for (std::size_t h = 1; h < chain.blocks().size(); ++h) {
+    auto shared = std::make_shared<const Block>(chain.blocks()[h]);
+    const Hash256 hash = shared->hash();
+    for (auto& node : nodes_) node->store().put_block(shared, hash);
+  }
+}
+
+FullRepNetwork::BootstrapReport FullRepNetwork::bootstrap(sim::Coord coord) {
+  // Nearest existing node serves the download.
+  sim::NodeId best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (sim::NodeId i = 0; i < nodes_.size(); ++i) {
+    const double d = sim::distance(coord, coords_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<sim::NodeId>(i);
+    }
+  }
+
+  auto node = std::make_unique<FullRepNode>(*this, static_cast<sim::NodeId>(nodes_.size()));
+  const sim::NodeId id = net_->add_node(node.get(), coord);
+  coords_.push_back(coord);
+  peers_.push_back({best});
+  peers_[best].push_back(id);
+  nodes_.push_back(std::move(node));
+
+  BootstrapReport report;
+  const sim::SimTime started = sim_.now();
+  nodes_[id]->start_sync(best, [&report](std::size_t bodies) {
+    report.complete = true;
+    report.bodies_fetched = bodies;
+  });
+  sim_.run();
+  report.elapsed_us = sim_.now() - started;
+  report.bytes_downloaded = net_->traffic(id).bytes_received;
+  return report;
+}
+
+std::vector<const BlockStore*> FullRepNetwork::stores() const {
+  std::vector<const BlockStore*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(&node->store());
+  return out;
+}
+
+}  // namespace ici::baseline

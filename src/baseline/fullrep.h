@@ -1,0 +1,167 @@
+// Full-replication baseline (Bitcoin-style): every node stores every block,
+// validates every transaction, and learns about new blocks through
+// INV/GETDATA gossip over a random peer graph.
+//
+// This is the "blockchain is hard to scale" strawman the paper's
+// introduction motivates: per-node storage equals the whole ledger, and a
+// disseminated block crosses every link roughly once (plus INV chatter).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "chain/chain.h"
+#include "chain/validator.h"
+#include "common/stats.h"
+#include "metrics/registry.h"
+#include "sim/churn.h"
+#include "sim/network.h"
+#include "storage/block_store.h"
+
+namespace ici::baseline {
+
+struct FullRepConfig {
+  std::size_t node_count = 64;
+  /// Outbound peers per node (graph is used bidirectionally).
+  std::size_t peer_degree = 8;
+  /// Full stateful validation at every node. Disable for storage-only
+  /// experiments at large N (saves the per-node UTXO copies).
+  bool validate = true;
+  sim::NetworkConfig net;
+  std::size_t regions = 5;
+  std::uint64_t seed = 1;
+};
+
+// -- wire messages ----------------------------------------------------------
+
+struct FullRepMessage : sim::MessageBase {};
+
+struct InvMsg final : FullRepMessage {
+  Hash256 hash;
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] const char* type_name() const override { return "Inv"; }
+};
+
+struct GetDataMsg final : FullRepMessage {
+  Hash256 hash;
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] const char* type_name() const override { return "GetData"; }
+};
+
+struct GossipBlockMsg final : FullRepMessage {
+  std::shared_ptr<const Block> block;
+  [[nodiscard]] std::size_t wire_size() const override { return block->serialized_size(); }
+  [[nodiscard]] const char* type_name() const override { return "GossipBlock"; }
+};
+
+/// Bootstrap: "send me every block from height X".
+struct SyncRequestMsg final : FullRepMessage {
+  std::uint64_t from_height = 0;
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+  [[nodiscard]] const char* type_name() const override { return "SyncRequest"; }
+};
+
+struct SyncResponseMsg final : FullRepMessage {
+  std::vector<std::shared_ptr<const Block>> blocks;
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t total = 4;
+    for (const auto& b : blocks) total += b->serialized_size();
+    return total;
+  }
+  [[nodiscard]] const char* type_name() const override { return "SyncResponse"; }
+};
+
+// -- network ------------------------------------------------------------------
+
+class FullRepNetwork;
+
+class FullRepNode final : public sim::INode {
+ public:
+  FullRepNode(FullRepNetwork& ctx, sim::NodeId id);
+
+  void on_message(sim::NodeId from, const sim::MessagePtr& msg) override;
+
+  /// Proposer path: adopt the block locally and start gossiping it.
+  void inject_block(std::shared_ptr<const Block> block);
+
+  [[nodiscard]] BlockStore& store() { return store_; }
+  [[nodiscard]] const BlockStore& store() const { return store_; }
+  [[nodiscard]] const UtxoSet& utxo() const { return utxo_; }
+
+  void seed_genesis(std::shared_ptr<const Block> genesis);
+
+  /// Bootstrap entry: full-chain download from `peer`.
+  void start_sync(sim::NodeId peer, std::function<void(std::size_t)> on_done);
+
+ private:
+  void accept_block(std::shared_ptr<const Block> block, sim::NodeId from);
+  void announce(const Hash256& hash, sim::NodeId except);
+
+  FullRepNetwork& ctx_;
+  sim::NodeId id_;
+  BlockStore store_;
+  UtxoSet utxo_;
+  Validator validator_;
+  std::unordered_set<Hash256, Hash256Hasher> requested_;
+  std::function<void(std::size_t)> sync_done_;
+};
+
+class FullRepNetwork {
+ public:
+  explicit FullRepNetwork(FullRepConfig cfg);
+  ~FullRepNetwork();
+
+  FullRepNetwork(const FullRepNetwork&) = delete;
+  FullRepNetwork& operator=(const FullRepNetwork&) = delete;
+
+  void init_with_genesis(const Block& genesis);
+
+  /// Gossips `block` from a rotating proposer and runs to quiescence.
+  /// Returns the time until the last online node stored the block.
+  sim::SimTime disseminate_and_settle(const Block& block);
+
+  /// Statically installs a chain on every node (storage experiments).
+  void preload_chain(const Chain& chain);
+
+  /// Adds a fresh node, syncs the full chain from its nearest peer, and
+  /// reports bytes downloaded + elapsed time.
+  struct BootstrapReport {
+    std::uint64_t bytes_downloaded = 0;
+    sim::SimTime elapsed_us = 0;
+    std::size_t bodies_fetched = 0;
+    bool complete = false;
+  };
+  [[nodiscard]] BootstrapReport bootstrap(sim::Coord coord);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Network& network() { return *net_; }
+  [[nodiscard]] metrics::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const FullRepConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] FullRepNode& node(sim::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const std::vector<sim::NodeId>& peers(sim::NodeId id) const;
+  [[nodiscard]] std::vector<const BlockStore*> stores() const;
+
+  /// Called by nodes when they store a disseminated block.
+  void note_stored(sim::NodeId id, const Hash256& hash);
+
+ private:
+  FullRepConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<std::unique_ptr<FullRepNode>> nodes_;
+  std::vector<std::vector<sim::NodeId>> peers_;
+  std::vector<sim::Coord> coords_;
+  metrics::Registry metrics_;
+
+  struct Spread {
+    sim::SimTime started = 0;
+    std::size_t holders = 0;
+    sim::SimTime finished = 0;
+  };
+  std::unordered_map<Hash256, Spread, Hash256Hasher> spreads_;
+  std::uint64_t proposer_cursor_ = 0;
+  bool genesis_done_ = false;
+};
+
+}  // namespace ici::baseline

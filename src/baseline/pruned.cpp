@@ -1,0 +1,40 @@
+#include "baseline/pruned.h"
+
+namespace ici::baseline {
+
+void PrunedNode::apply(const std::shared_ptr<const Block>& block) {
+  const Hash256 hash = block->hash();
+  for (const Transaction& tx : block->txs()) {
+    utxo_.apply_tx(tx, block->header().height);
+  }
+  store_.put_block(block, hash);
+  body_order_.push_back(hash);
+  while (body_order_.size() > window_) {
+    store_.prune_block(body_order_.front());
+    body_order_.erase(body_order_.begin());
+  }
+}
+
+PrunedNetwork::PrunedNetwork(PrunedConfig cfg) : cfg_(cfg), node_(cfg.window) {}
+
+void PrunedNetwork::preload_chain(const Chain& chain) {
+  for (const Block& block : chain.blocks()) {
+    node_.apply(std::make_shared<const Block>(block));
+  }
+}
+
+double PrunedNetwork::historical_availability(const Chain& chain) const {
+  if (chain.size() == 0) return 1.0;
+  std::size_t servable = 0;
+  for (const Block& block : chain.blocks()) {
+    if (node_.store().has_block(block.hash())) ++servable;
+  }
+  return static_cast<double>(servable) / static_cast<double>(chain.size());
+}
+
+std::uint64_t PrunedNetwork::bootstrap_bytes() const {
+  // Headers for the whole chain + the UTXO snapshot + recent bodies.
+  return node_.store().header_bytes() + node_.snapshot_bytes() + node_.store().body_bytes();
+}
+
+}  // namespace ici::baseline

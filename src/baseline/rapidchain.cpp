@@ -1,0 +1,255 @@
+#include "baseline/rapidchain.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/node_info.h"
+#include "common/rng.h"
+
+namespace ici::baseline {
+
+RapidChainNode::RapidChainNode(RapidChainNetwork& ctx, sim::NodeId id, std::size_t committee)
+    : ctx_(ctx), id_(id), committee_(committee) {}
+
+void RapidChainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (const auto* chunk = dynamic_cast<const ChunkMsg*>(msg.get())) {
+    receive_chunk(*chunk, from);
+    return;
+  }
+  if (dynamic_cast<const ShardRequestMsg*>(msg.get()) != nullptr) {
+    auto resp = std::make_shared<ShardResponseMsg>();
+    for (const Hash256& h : store_.stored_hashes()) {
+      if (auto block = store_.block_ptr(h)) resp->blocks.push_back(std::move(block));
+    }
+    ctx_.network().send(id_, from, std::move(resp));
+    return;
+  }
+  if (const auto* resp = dynamic_cast<const ShardResponseMsg*>(msg.get())) {
+    for (const auto& block : resp->blocks) store_.put_block(block);
+    if (sync_done_) {
+      auto done = std::move(sync_done_);
+      sync_done_ = nullptr;
+      done(resp->blocks.size());
+    }
+    return;
+  }
+}
+
+void RapidChainNode::lead_dissemination(std::shared_ptr<const Block> block) {
+  const Hash256 hash = block->hash();
+  const std::size_t total = block->serialized_size();
+  store_.put_block(block, hash);
+  ctx_.note_stored(id_, hash);
+
+  const auto& members = ctx_.committee_members(committee_);
+  const auto m = static_cast<std::uint32_t>(members.size());
+  if (m <= 1) return;
+
+  // IDA: one distinct chunk per member; receivers flood chunks onward.
+  auto make_chunk = [&](std::uint32_t index) {
+    auto chunk = std::make_shared<ChunkMsg>();
+    chunk->block_hash = hash;
+    chunk->chunk_index = index;
+    chunk->chunk_count = m;
+    chunk->chunk_bytes = (total + m - 1) / m;
+    return chunk;
+  };
+  std::uint32_t self_index = 0;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (members[i] == id_) {
+      self_index = i;
+      continue;
+    }
+    ctx_.network().send(id_, members[i], make_chunk(i));
+  }
+  // The leader's own chunk must also enter the relay ring, or nobody can
+  // ever reassemble: hand it to the ring successor.
+  ctx_.network().send(id_, members[(self_index + 1) % m], make_chunk(self_index));
+}
+
+void RapidChainNode::receive_chunk(const ChunkMsg& msg, sim::NodeId from) {
+  (void)from;
+  auto& re = reassembly_[msg.block_hash];
+  re.needed = msg.chunk_count;
+  if (!re.chunks.insert(msg.chunk_index).second) return;  // duplicate: flood dies out
+
+  // Forward the fresh chunk to this member's ring successors. Ring
+  // forwarding guarantees every chunk eventually circulates the whole
+  // committee (each fresh arrival is relayed onward; duplicates stop).
+  // Forwarding continues even after local reassembly completed — cutting
+  // the relay early would strand downstream members.
+  const auto& members = ctx_.committee_members(committee_);
+  const auto self =
+      std::find(members.begin(), members.end(), id_) - members.begin();
+  auto fwd = std::make_shared<ChunkMsg>(msg);
+  const std::size_t m = members.size();
+  for (std::size_t step = 1; step <= std::min(ctx_.gossip_degree(), m - 1); ++step) {
+    const sim::NodeId next = members[(static_cast<std::size_t>(self) + step) % m];
+    if (next == id_) continue;
+    ctx_.network().send(id_, next, fwd);
+  }
+
+  if (!re.complete && re.chunks.size() >= re.needed) {
+    re.complete = true;
+    if (auto block = ctx_.pending_block(msg.block_hash)) {
+      store_.put_block(block, msg.block_hash);
+      ctx_.note_stored(id_, msg.block_hash);
+    }
+  }
+}
+
+void RapidChainNode::start_shard_sync(sim::NodeId peer,
+                                      std::function<void(std::size_t)> on_done) {
+  sync_done_ = std::move(on_done);
+  ctx_.network().send(id_, peer, std::make_shared<ShardRequestMsg>());
+}
+
+// ---------------------------------------------------------------------------
+
+RapidChainNetwork::RapidChainNetwork(RapidChainConfig cfg) : cfg_(cfg) {
+  if (cfg_.committee_count == 0 || cfg_.committee_count > cfg_.node_count)
+    throw std::invalid_argument("RapidChainNetwork: bad committee_count");
+  net_ = std::make_unique<sim::Network>(sim_, cfg_.net);
+
+  const auto infos =
+      cluster::generate_topology(cfg_.node_count, cfg_.regions, cfg_.seed, 100.0, false);
+  committees_.assign(cfg_.committee_count, {});
+  nodes_.reserve(infos.size());
+  for (const auto& info : infos) {
+    // Committee by hash of node id — RapidChain assigns members uniformly
+    // at random via its randomness beacon.
+    ByteWriter w(8);
+    w.u64(info.id);
+    const std::size_t c = static_cast<std::size_t>(
+        Hash256::tagged("rc/committee", ByteSpan(w.bytes().data(), w.bytes().size())).low64() %
+        cfg_.committee_count);
+    auto node = std::make_unique<RapidChainNode>(*this, info.id, c);
+    const sim::NodeId assigned = net_->add_node(node.get(), info.coord);
+    if (assigned != info.id) throw std::logic_error("rapidchain id mismatch");
+    committees_[c].push_back(info.id);
+    nodes_.push_back(std::move(node));
+    coords_.push_back(info.coord);
+  }
+  // Hash assignment can leave a committee empty at tiny scales; steal from
+  // the largest so the model stays well-formed.
+  for (auto& committee : committees_) {
+    if (!committee.empty()) continue;
+    auto& biggest = *std::max_element(
+        committees_.begin(), committees_.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    committee.push_back(biggest.back());
+    biggest.pop_back();
+  }
+}
+
+RapidChainNetwork::~RapidChainNetwork() = default;
+
+std::size_t RapidChainNetwork::committee_of_block(const Hash256& hash) const {
+  return static_cast<std::size_t>(
+      Hash256::tagged("rc/block", hash.span()).low64() % cfg_.committee_count);
+}
+
+const std::vector<sim::NodeId>& RapidChainNetwork::committee_members(std::size_t c) const {
+  return committees_.at(c);
+}
+
+void RapidChainNetwork::init_with_genesis(const Block& genesis) {
+  if (genesis_done_) throw std::logic_error("init_with_genesis called twice");
+  genesis_done_ = true;
+  auto shared = std::make_shared<const Block>(genesis);
+  const Hash256 hash = shared->hash();
+  const std::size_t c = committee_of_block(hash);
+  for (sim::NodeId id : committees_[c]) nodes_[id]->store().put_block(shared, hash);
+}
+
+sim::SimTime RapidChainNetwork::disseminate_and_settle(const Block& block) {
+  if (!genesis_done_) throw std::logic_error("call init_with_genesis first");
+  auto shared = std::make_shared<const Block>(block);
+  const Hash256 hash = shared->hash();
+  const std::size_t c = committee_of_block(hash);
+  const auto& members = committees_[c];
+
+  pending_[hash] = shared;
+  spreads_[hash] = Spread{sim_.now(), 0, members.size(), 0};
+
+  const sim::NodeId leader = members[leader_cursor_++ % members.size()];
+  nodes_[leader]->lead_dissemination(shared);
+  sim_.run();
+
+  pending_.erase(hash);
+  const Spread& spread = spreads_.at(hash);
+  if (spread.finished == 0) return 0;
+  return spread.finished - spread.started;
+}
+
+std::shared_ptr<const Block> RapidChainNetwork::pending_block(const Hash256& hash) const {
+  const auto it = pending_.find(hash);
+  return it == pending_.end() ? nullptr : it->second;
+}
+
+void RapidChainNetwork::note_stored(sim::NodeId id, const Hash256& hash) {
+  (void)id;
+  const auto it = spreads_.find(hash);
+  if (it == spreads_.end()) return;
+  it->second.holders += 1;
+  if (it->second.holders >= it->second.committee_size) it->second.finished = sim_.now();
+}
+
+void RapidChainNetwork::preload_chain(const Chain& chain) {
+  if (!genesis_done_) throw std::logic_error("call init_with_genesis first");
+  for (std::size_t h = 1; h < chain.blocks().size(); ++h) {
+    auto shared = std::make_shared<const Block>(chain.blocks()[h]);
+    const Hash256 hash = shared->hash();
+    const std::size_t c = committee_of_block(hash);
+    for (sim::NodeId id : committees_[c]) nodes_[id]->store().put_block(shared, hash);
+  }
+}
+
+RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord) {
+  const auto new_id = static_cast<sim::NodeId>(nodes_.size());
+  ByteWriter w(8);
+  w.u64(new_id);
+  const std::size_t c = static_cast<std::size_t>(
+      Hash256::tagged("rc/committee", ByteSpan(w.bytes().data(), w.bytes().size())).low64() %
+      cfg_.committee_count);
+
+  auto node = std::make_unique<RapidChainNode>(*this, new_id, c);
+  const sim::NodeId id = net_->add_node(node.get(), coord);
+  nodes_.push_back(std::move(node));
+  coords_.push_back(coord);
+  committees_[c].push_back(id);
+
+  // Nearest committee member serves the shard.
+  sim::NodeId best = committees_[c].front();
+  double best_d = std::numeric_limits<double>::max();
+  for (sim::NodeId member : committees_[c]) {
+    if (member == id) continue;
+    const double d = sim::distance(coord, coords_[member]);
+    if (d < best_d) {
+      best_d = d;
+      best = member;
+    }
+  }
+
+  BootstrapReport report;
+  report.committee = c;
+  const sim::SimTime started = sim_.now();
+  nodes_[id]->start_shard_sync(best, [&report](std::size_t bodies) {
+    report.complete = true;
+    report.bodies_fetched = bodies;
+  });
+  sim_.run();
+  report.elapsed_us = sim_.now() - started;
+  report.bytes_downloaded = net_->traffic(id).bytes_received;
+  return report;
+}
+
+std::vector<const BlockStore*> RapidChainNetwork::stores() const {
+  std::vector<const BlockStore*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(&node->store());
+  return out;
+}
+
+}  // namespace ici::baseline

@@ -1,0 +1,97 @@
+#include "chain/block.h"
+
+namespace ici {
+
+Bytes BlockHeader::serialize() const {
+  ByteWriter w(kWireSize);
+  w.u32(version);
+  w.raw(parent.span());
+  w.raw(merkle_root.span());
+  w.u64(height);
+  w.u64(timestamp_us);
+  w.u64(nonce);
+  return w.take();
+}
+
+BlockHeader BlockHeader::deserialize(ByteSpan data) {
+  ByteReader r(data);
+  BlockHeader h;
+  h.version = r.u32();
+  Digest256 d{};
+  Bytes b = r.raw(32);
+  std::copy(b.begin(), b.end(), d.begin());
+  h.parent = Hash256(d);
+  b = r.raw(32);
+  std::copy(b.begin(), b.end(), d.begin());
+  h.merkle_root = Hash256(d);
+  h.height = r.u64();
+  h.timestamp_us = r.u64();
+  h.nonce = r.u64();
+  return h;
+}
+
+Hash256 BlockHeader::hash() const {
+  const Bytes enc = serialize();
+  return Hash256::of2(enc);
+}
+
+Block::Block(BlockHeader header, std::vector<Transaction> txs)
+    : header_(header), txs_(std::move(txs)) {}
+
+Block Block::assemble(const Hash256& parent, std::uint64_t height, std::uint64_t timestamp_us,
+                      std::vector<Transaction> txs) {
+  BlockHeader h;
+  h.parent = parent;
+  h.height = height;
+  h.timestamp_us = timestamp_us;
+  std::vector<Hash256> ids;
+  ids.reserve(txs.size());
+  for (const Transaction& tx : txs) ids.push_back(tx.txid());
+  h.merkle_root = MerkleTree::compute_root(ids);
+  return Block(h, std::move(txs));
+}
+
+bool Block::merkle_ok() const {
+  return MerkleTree::compute_root(txids()) == header_.merkle_root;
+}
+
+std::vector<Hash256> Block::txids() const {
+  std::vector<Hash256> ids;
+  ids.reserve(txs_.size());
+  for (const Transaction& tx : txs_) ids.push_back(tx.txid());
+  return ids;
+}
+
+Bytes Block::serialize() const {
+  ByteWriter w;
+  w.raw(header_.serialize());
+  w.u32(static_cast<std::uint32_t>(txs_.size()));
+  for (const Transaction& tx : txs_) w.blob(tx.serialize());
+  return w.take();
+}
+
+Block Block::deserialize(ByteSpan data) {
+  ByteReader r(data);
+  const Bytes hdr = r.raw(BlockHeader::kWireSize);
+  BlockHeader h = BlockHeader::deserialize(hdr);
+  const std::uint32_t n = r.u32();
+  std::vector<Transaction> txs;
+  // Each tx blob costs at least 4 (length) + 16 (nonce + counts) bytes;
+  // bound the reserve so corrupt counts cannot force huge allocations.
+  if (n > r.remaining() / 20) throw DecodeError("Block: tx count too large");
+  txs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Bytes enc = r.blob();
+    txs.push_back(Transaction::deserialize(enc));
+  }
+  r.expect_done("Block");
+  return Block(h, std::move(txs));
+}
+
+std::size_t Block::serialized_size() const {
+  std::size_t total = BlockHeader::kWireSize + 4;
+  for (const Transaction& tx : txs_) total += 4 + tx.serialized_size();
+  return total;
+}
+
+}  // namespace ici

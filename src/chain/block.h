@@ -1,0 +1,63 @@
+// Blocks and block headers. A header commits to the parent hash and the
+// Merkle root over txids; the body carries the transactions. ICIStrategy
+// nodes always store all headers but only their assigned bodies, so header
+// and body serialize independently.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chain/transaction.h"
+#include "crypto/merkle.h"
+
+namespace ici {
+
+struct BlockHeader {
+  std::uint32_t version = 1;
+  Hash256 parent;
+  Hash256 merkle_root;
+  std::uint64_t height = 0;
+  std::uint64_t timestamp_us = 0;  // simulated time when the block was built
+  std::uint64_t nonce = 0;         // filled by the (simulated) proposer
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static BlockHeader deserialize(ByteSpan data);
+  /// Double SHA-256 of the serialized header — the block hash.
+  [[nodiscard]] Hash256 hash() const;
+
+  /// Serialized size, constant for every header.
+  static constexpr std::size_t kWireSize = 4 + 32 + 32 + 8 + 8 + 8;
+};
+
+class Block {
+ public:
+  Block() = default;
+  Block(BlockHeader header, std::vector<Transaction> txs);
+
+  /// Builds a block over `txs` with the Merkle root computed; the proposer
+  /// fills parent/height/timestamp via the header argument.
+  [[nodiscard]] static Block assemble(const Hash256& parent, std::uint64_t height,
+                                      std::uint64_t timestamp_us,
+                                      std::vector<Transaction> txs);
+
+  [[nodiscard]] const BlockHeader& header() const { return header_; }
+  [[nodiscard]] const std::vector<Transaction>& txs() const { return txs_; }
+  [[nodiscard]] Hash256 hash() const { return header_.hash(); }
+
+  /// Recomputes the Merkle root over the body and compares with the header.
+  [[nodiscard]] bool merkle_ok() const;
+
+  /// txids in block order.
+  [[nodiscard]] std::vector<Hash256> txids() const;
+
+  /// Full wire encoding: header followed by the tx vector.
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Block deserialize(ByteSpan data);
+  [[nodiscard]] std::size_t serialized_size() const;
+
+ private:
+  BlockHeader header_;
+  std::vector<Transaction> txs_;
+};
+
+}  // namespace ici

@@ -1,0 +1,42 @@
+#include "chain/chain.h"
+
+#include <stdexcept>
+
+namespace ici {
+
+Chain::Chain(Block genesis) {
+  if (genesis.header().height != 0) throw std::invalid_argument("genesis must be height 0");
+  total_bytes_ = genesis.serialized_size();
+  by_hash_.emplace(genesis.hash(), 0);
+  blocks_.push_back(std::move(genesis));
+}
+
+Block Chain::make_genesis(const KeyPair& faucet, std::size_t initial_outputs,
+                          Amount value_each) {
+  std::vector<TxOutput> outs(initial_outputs, TxOutput{value_each, faucet.pub});
+  Transaction mint({}, std::move(outs), /*nonce=*/0);
+  return Block::assemble(Hash256{}, /*height=*/0, /*timestamp_us=*/0, {std::move(mint)});
+}
+
+const Block& Chain::at_height(std::uint64_t h) const {
+  if (h >= blocks_.size()) throw std::out_of_range("Chain::at_height");
+  return blocks_[h];
+}
+
+const Block* Chain::by_hash(const Hash256& hash) const {
+  const auto it = by_hash_.find(hash);
+  if (it == by_hash_.end()) return nullptr;
+  return &blocks_[it->second];
+}
+
+void Chain::append(Block block) {
+  if (block.header().parent != tip().hash())
+    throw std::logic_error("Chain::append: does not extend tip");
+  if (block.header().height != height() + 1)
+    throw std::logic_error("Chain::append: bad height");
+  total_bytes_ += block.serialized_size();
+  by_hash_.emplace(block.hash(), blocks_.size());
+  blocks_.push_back(std::move(block));
+}
+
+}  // namespace ici

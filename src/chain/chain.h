@@ -1,0 +1,46 @@
+// Canonical chain container: ordered blocks with O(1) lookup by hash or
+// height, plus the genesis convention shared by every network flavour.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/validator.h"
+
+namespace ici {
+
+class Chain {
+ public:
+  /// Starts from the given genesis block (height 0).
+  explicit Chain(Block genesis);
+
+  /// The deterministic genesis every simulation uses: a single coinbase
+  /// paying `initial_outputs` outputs of `value` each to the faucet key, so
+  /// workload generators have funds to spread around.
+  [[nodiscard]] static Block make_genesis(const KeyPair& faucet, std::size_t initial_outputs,
+                                          Amount value_each);
+
+  [[nodiscard]] const Block& tip() const { return blocks_.back(); }
+  [[nodiscard]] std::uint64_t height() const { return blocks_.back().header().height; }
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+  [[nodiscard]] const Block& at_height(std::uint64_t h) const;
+  [[nodiscard]] const Block* by_hash(const Hash256& hash) const;
+  [[nodiscard]] bool contains(const Hash256& hash) const { return by_hash_.contains(hash); }
+
+  /// Appends a block that must extend the tip (validated by the caller).
+  void append(Block block);
+
+  /// Total serialized bytes of all blocks — the "full ledger size D".
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+ private:
+  std::vector<Block> blocks_;
+  std::unordered_map<Hash256, std::size_t, Hash256Hasher> by_hash_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ici

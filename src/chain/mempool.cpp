@@ -1,0 +1,64 @@
+#include "chain/mempool.h"
+
+#include <algorithm>
+
+namespace ici {
+
+bool Mempool::add(Transaction tx) {
+  const Hash256 id = tx.txid();
+  if (by_id_.contains(id)) return false;
+  for (const TxInput& in : tx.inputs()) {
+    if (claimed_.contains(in.prevout)) return false;
+  }
+  for (const TxInput& in : tx.inputs()) claimed_.insert(in.prevout);
+  order_.push_back(id);
+  by_id_.emplace(id, std::move(tx));
+  return true;
+}
+
+std::vector<Transaction> Mempool::take(std::size_t max) {
+  std::vector<Transaction> out;
+  out.reserve(std::min(max, order_.size()));
+  while (!order_.empty() && out.size() < max) {
+    const Hash256 id = order_.front();
+    order_.pop_front();
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) continue;  // lazily removed
+    out.push_back(std::move(it->second));
+    for (const TxInput& in : out.back().inputs()) claimed_.erase(in.prevout);
+    by_id_.erase(it);
+  }
+  return out;
+}
+
+void Mempool::erase_id(const Hash256& txid) {
+  const auto it = by_id_.find(txid);
+  if (it == by_id_.end()) return;
+  for (const TxInput& in : it->second.inputs()) claimed_.erase(in.prevout);
+  by_id_.erase(it);
+  // order_ entries are removed lazily in take().
+}
+
+void Mempool::remove_confirmed(const std::vector<Transaction>& confirmed) {
+  for (const Transaction& tx : confirmed) {
+    erase_id(tx.txid());
+    // Also evict pool txs that conflict with the now-spent outpoints.
+    for (const TxInput& in : tx.inputs()) {
+      if (!claimed_.contains(in.prevout)) continue;
+      // Linear scan is acceptable: conflicts are rare in generated workloads.
+      for (auto it = by_id_.begin(); it != by_id_.end();) {
+        const bool conflicts = std::any_of(
+            it->second.inputs().begin(), it->second.inputs().end(),
+            [&](const TxInput& other) { return other.prevout == in.prevout; });
+        if (conflicts) {
+          for (const TxInput& other : it->second.inputs()) claimed_.erase(other.prevout);
+          it = by_id_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ici

@@ -1,0 +1,38 @@
+// Transaction mempool: pending transactions awaiting inclusion, with
+// double-spend tracking across the pool so a block builder never assembles
+// conflicting spends.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chain/transaction.h"
+
+namespace ici {
+
+class Mempool {
+ public:
+  /// Accepts iff no pooled tx already spends one of its inputs and the txid
+  /// is new. Returns false on rejection.
+  bool add(Transaction tx);
+
+  [[nodiscard]] bool contains(const Hash256& txid) const { return by_id_.contains(txid); }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+
+  /// Removes and returns up to `max` transactions in arrival order.
+  [[nodiscard]] std::vector<Transaction> take(std::size_t max);
+
+  /// Drops any pooled tx confirmed by (or conflicting with) the block's txs.
+  void remove_confirmed(const std::vector<Transaction>& confirmed);
+
+ private:
+  void erase_id(const Hash256& txid);
+
+  std::deque<Hash256> order_;
+  std::unordered_map<Hash256, Transaction, Hash256Hasher> by_id_;
+  std::unordered_set<OutPoint, OutPointHasher> claimed_;
+};
+
+}  // namespace ici

@@ -1,0 +1,112 @@
+#include "chain/transaction.h"
+
+namespace ici {
+
+Transaction::Transaction(std::vector<TxInput> inputs, std::vector<TxOutput> outputs,
+                         std::uint64_t nonce)
+    : inputs_(std::move(inputs)), outputs_(std::move(outputs)), nonce_(nonce) {}
+
+Transaction Transaction::coinbase(const PublicKey& recipient, Amount value,
+                                  std::uint64_t height) {
+  return Transaction({}, {TxOutput{value, recipient}}, height);
+}
+
+void Transaction::encode(ByteWriter& w, bool include_sigs) const {
+  w.u64(nonce_);
+  w.u32(static_cast<std::uint32_t>(inputs_.size()));
+  for (const TxInput& in : inputs_) {
+    w.raw(in.prevout.txid.span());
+    w.u32(in.prevout.index);
+    if (include_sigs) {
+      w.raw(ByteSpan(in.sig.data(), in.sig.size()));
+    } else {
+      static const Signature kZero{};
+      w.raw(ByteSpan(kZero.data(), kZero.size()));
+    }
+    w.raw(ByteSpan(in.pub.data(), in.pub.size()));
+  }
+  w.u32(static_cast<std::uint32_t>(outputs_.size()));
+  for (const TxOutput& out : outputs_) {
+    w.u64(out.value);
+    w.raw(ByteSpan(out.recipient.data(), out.recipient.size()));
+  }
+}
+
+Bytes Transaction::serialize() const {
+  ByteWriter w(64 + inputs_.size() * 132 + outputs_.size() * 40);
+  encode(w, /*include_sigs=*/true);
+  return w.take();
+}
+
+Transaction Transaction::deserialize(ByteSpan data) {
+  ByteReader r(data);
+  Transaction tx;
+  tx.nonce_ = r.u64();
+  const std::uint32_t n_in = r.u32();
+  // Bound the reserve by what the buffer could possibly hold (132 bytes per
+  // input) so a corrupted count cannot force a huge allocation.
+  if (n_in > r.remaining() / 132) throw DecodeError("Transaction: input count too large");
+  tx.inputs_.reserve(n_in);
+  for (std::uint32_t i = 0; i < n_in; ++i) {
+    TxInput in;
+    const Bytes txid = r.raw(32);
+    Digest256 d{};
+    std::copy(txid.begin(), txid.end(), d.begin());
+    in.prevout.txid = Hash256(d);
+    in.prevout.index = r.u32();
+    const Bytes sig = r.raw(64);
+    std::copy(sig.begin(), sig.end(), in.sig.begin());
+    const Bytes pub = r.raw(32);
+    std::copy(pub.begin(), pub.end(), in.pub.begin());
+    tx.inputs_.push_back(in);
+  }
+  const std::uint32_t n_out = r.u32();
+  if (n_out > r.remaining() / 40) throw DecodeError("Transaction: output count too large");
+  tx.outputs_.reserve(n_out);
+  for (std::uint32_t i = 0; i < n_out; ++i) {
+    TxOutput out;
+    out.value = r.u64();
+    const Bytes pub = r.raw(32);
+    std::copy(pub.begin(), pub.end(), out.recipient.begin());
+    tx.outputs_.push_back(out);
+  }
+  r.expect_done("Transaction");
+  return tx;
+}
+
+const Hash256& Transaction::txid() const {
+  if (!cached_txid_) {
+    const Bytes enc = serialize();
+    cached_txid_ = Hash256::of2(enc);
+  }
+  return *cached_txid_;
+}
+
+Bytes Transaction::signing_payload() const {
+  ByteWriter w;
+  encode(w, /*include_sigs=*/false);
+  return w.take();
+}
+
+void Transaction::sign_all_inputs(const KeyPair& key) {
+  // The signing payload covers the spender public keys, so they must be in
+  // place before the payload is derived.
+  for (TxInput& in : inputs_) in.pub = key.pub;
+  const Bytes payload = signing_payload();
+  const Signature sig = sign(key, payload);
+  for (TxInput& in : inputs_) in.sig = sig;
+  cached_txid_.reset();
+}
+
+std::size_t Transaction::serialized_size() const {
+  // nonce + input count + inputs(32+4+64+32) + output count + outputs(8+32).
+  return 8 + 4 + inputs_.size() * 132 + 4 + outputs_.size() * 40;
+}
+
+Amount Transaction::total_output() const {
+  Amount total = 0;
+  for (const TxOutput& out : outputs_) total += out.value;
+  return total;
+}
+
+}  // namespace ici

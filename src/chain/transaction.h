@@ -1,0 +1,88 @@
+// UTXO-model transactions: inputs reference previous outputs, outputs carry
+// an amount and a recipient public key. Canonical serialization defines the
+// txid (double SHA-256 over the encoding).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "crypto/sig.h"
+
+namespace ici {
+
+/// Monetary amounts in base units (like satoshi).
+using Amount = std::uint64_t;
+
+/// Reference to a previous transaction output.
+struct OutPoint {
+  Hash256 txid;
+  std::uint32_t index = 0;
+
+  auto operator<=>(const OutPoint&) const = default;
+};
+
+struct OutPointHasher {
+  std::size_t operator()(const OutPoint& op) const noexcept {
+    return static_cast<std::size_t>(op.txid.low64() ^ (static_cast<std::uint64_t>(op.index) *
+                                                       0x9e3779b97f4a7c15ULL));
+  }
+};
+
+struct TxInput {
+  OutPoint prevout;
+  /// Signature of the signing payload by the key owning the spent output.
+  Signature sig{};
+  /// Public key of the spender (matches the spent output's recipient).
+  PublicKey pub{};
+};
+
+struct TxOutput {
+  Amount value = 0;
+  PublicKey recipient{};
+};
+
+class Transaction {
+ public:
+  Transaction() = default;
+  Transaction(std::vector<TxInput> inputs, std::vector<TxOutput> outputs,
+              std::uint64_t nonce = 0);
+
+  /// Coinbase: no inputs, mints `value` to `recipient`. `height` salts the
+  /// nonce so every block's coinbase has a distinct txid.
+  [[nodiscard]] static Transaction coinbase(const PublicKey& recipient, Amount value,
+                                            std::uint64_t height);
+
+  [[nodiscard]] bool is_coinbase() const { return inputs_.empty(); }
+  [[nodiscard]] const std::vector<TxInput>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<TxOutput>& outputs() const { return outputs_; }
+  [[nodiscard]] std::uint64_t nonce() const { return nonce_; }
+
+  /// Canonical encoding (includes signatures).
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Transaction deserialize(ByteSpan data);
+
+  /// Double SHA-256 of the canonical encoding. Cached after first call.
+  [[nodiscard]] const Hash256& txid() const;
+
+  /// Bytes the spender signs: the encoding with all signatures zeroed.
+  [[nodiscard]] Bytes signing_payload() const;
+
+  /// Signs every input with `key` (single-key wallets in the workload).
+  void sign_all_inputs(const KeyPair& key);
+
+  [[nodiscard]] Amount total_output() const;
+  /// Size of serialize() computed arithmetically (no allocation).
+  [[nodiscard]] std::size_t serialized_size() const;
+
+ private:
+  void encode(ByteWriter& w, bool include_sigs) const;
+
+  std::vector<TxInput> inputs_;
+  std::vector<TxOutput> outputs_;
+  std::uint64_t nonce_ = 0;
+  mutable std::optional<Hash256> cached_txid_;
+};
+
+}  // namespace ici

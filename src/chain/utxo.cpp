@@ -1,0 +1,40 @@
+#include "chain/utxo.h"
+
+#include <stdexcept>
+
+namespace ici {
+
+std::optional<UtxoEntry> UtxoSet::find(const OutPoint& op) const {
+  const auto it = map_.find(op);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void UtxoSet::add(const OutPoint& op, UtxoEntry entry) {
+  const auto [it, inserted] = map_.emplace(op, std::move(entry));
+  (void)it;
+  if (!inserted) throw std::logic_error("UtxoSet::add: duplicate outpoint");
+}
+
+bool UtxoSet::spend(const OutPoint& op) { return map_.erase(op) > 0; }
+
+void UtxoSet::apply_tx(const Transaction& tx, std::uint64_t height) {
+  for (const TxInput& in : tx.inputs()) {
+    if (!spend(in.prevout)) throw std::logic_error("UtxoSet::apply_tx: missing input");
+  }
+  const Hash256& id = tx.txid();
+  for (std::uint32_t i = 0; i < tx.outputs().size(); ++i) {
+    add(OutPoint{id, i}, UtxoEntry{tx.outputs()[i], height, tx.is_coinbase()});
+  }
+}
+
+Amount UtxoSet::total_value() const {
+  Amount total = 0;
+  for (const auto& [op, entry] : map_) {
+    (void)op;
+    total += entry.output.value;
+  }
+  return total;
+}
+
+}  // namespace ici

@@ -1,0 +1,110 @@
+#include "chain/workload.h"
+
+#include <stdexcept>
+
+namespace ici {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.wallet_count == 0) throw std::invalid_argument("wallet_count must be > 0");
+  wallets_.reserve(cfg_.wallet_count);
+  for (std::size_t i = 0; i < cfg_.wallet_count; ++i) {
+    wallets_.push_back(KeyPair::from_seed(cfg_.seed * 1'000'003 + i));
+  }
+}
+
+Block WorkloadGenerator::make_genesis() {
+  if (genesis_made_) throw std::logic_error("make_genesis called twice");
+  genesis_made_ = true;
+  std::vector<TxOutput> outs;
+  outs.reserve(cfg_.wallet_count * cfg_.genesis_outputs_per_wallet);
+  for (std::size_t w = 0; w < cfg_.wallet_count; ++w) {
+    for (std::size_t j = 0; j < cfg_.genesis_outputs_per_wallet; ++j) {
+      outs.push_back(TxOutput{cfg_.genesis_value_each, wallets_[w].pub});
+    }
+  }
+  // Spendable bookkeeping happens in confirm(): the caller feeds the genesis
+  // block back through confirm() exactly like any other block.
+  Transaction mint({}, std::move(outs), /*nonce=*/0);
+  return Block::assemble(Hash256{}, 0, 0, {std::move(mint)});
+}
+
+std::optional<Transaction> WorkloadGenerator::next_tx() {
+  if (spendable_.empty()) return std::nullopt;
+  const std::size_t pick = rng_.index(spendable_.size());
+  const Spendable sp = spendable_[pick];
+  spendable_[pick] = spendable_.back();
+  spendable_.pop_back();
+
+  const std::size_t payee = rng_.index(wallets_.size());
+  std::vector<TxOutput> outs;
+  if (sp.value >= 2 && rng_.chance(cfg_.change_output_prob)) {
+    const Amount pay = rng_.range(1, sp.value - 1);
+    outs.push_back(TxOutput{pay, wallets_[payee].pub});
+    outs.push_back(TxOutput{sp.value - pay, wallets_[sp.wallet].pub});
+  } else {
+    outs.push_back(TxOutput{sp.value, wallets_[payee].pub});
+  }
+
+  Transaction tx({TxInput{sp.op, {}, {}}}, std::move(outs), tx_nonce_++);
+  tx.sign_all_inputs(wallets_[sp.wallet]);
+  return tx;
+}
+
+std::vector<Transaction> WorkloadGenerator::batch(std::size_t n) {
+  std::vector<Transaction> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto tx = next_tx();
+    if (!tx) break;
+    out.push_back(std::move(*tx));
+  }
+  return out;
+}
+
+void WorkloadGenerator::confirm(const Block& block) {
+  std::vector<Spendable> fresh;
+  for (const Transaction& tx : block.txs()) {
+    const Hash256& id = tx.txid();
+    for (std::uint32_t i = 0; i < tx.outputs().size(); ++i) {
+      const TxOutput& out = tx.outputs()[i];
+      // Track outputs paying one of our wallets.
+      for (std::size_t w = 0; w < wallets_.size(); ++w) {
+        if (wallets_[w].pub == out.recipient) {
+          fresh.push_back({OutPoint{id, i}, out.value, w});
+          break;
+        }
+      }
+    }
+  }
+  maturing_.push_back(std::move(fresh));
+  while (maturing_.size() > cfg_.maturity) {
+    auto& matured = maturing_.front();
+    spendable_.insert(spendable_.end(), matured.begin(), matured.end());
+    maturing_.pop_front();
+  }
+}
+
+ChainGenerator::ChainGenerator(ChainGenConfig cfg)
+    : cfg_(cfg), workload_(cfg.workload), miner_(KeyPair::from_seed(cfg.workload.seed ^ 0xace)) {}
+
+Block ChainGenerator::next_block(const Chain& chain) {
+  const std::uint64_t height = chain.height() + 1;
+  std::vector<Transaction> txs;
+  txs.reserve(cfg_.txs_per_block + 1);
+  txs.push_back(Transaction::coinbase(miner_.pub, ValidatorConfig{}.block_reward, height));
+  for (Transaction& tx : workload_.batch(cfg_.txs_per_block)) txs.push_back(std::move(tx));
+  Block block = Block::assemble(chain.tip().hash(), height, height * cfg_.block_interval_us,
+                                std::move(txs));
+  workload_.confirm(block);
+  return block;
+}
+
+Chain ChainGenerator::generate() {
+  Block genesis = workload_.make_genesis();
+  workload_.confirm(genesis);
+  Chain chain(std::move(genesis));
+  for (std::size_t i = 0; i < cfg_.blocks; ++i) chain.append(next_block(chain));
+  return chain;
+}
+
+}  // namespace ici

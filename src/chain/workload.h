@@ -1,0 +1,97 @@
+// Synthetic transaction workload and chain generation.
+//
+// WorkloadGenerator owns a set of simulated wallets, tracks their spendable
+// outputs, and emits *valid, signed* transactions (random payer → random
+// payee, occasional fan-out). ChainGenerator drives it to build a valid
+// chain of any length — the ledger every experiment distributes.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "chain/chain.h"
+#include "chain/mempool.h"
+#include "common/rng.h"
+
+namespace ici {
+
+struct WorkloadConfig {
+  std::size_t wallet_count = 64;
+  /// Outputs minted per wallet in genesis.
+  std::size_t genesis_outputs_per_wallet = 4;
+  Amount genesis_value_each = 1'000'000;
+  /// Probability a generated tx has two outputs (payment + change).
+  double change_output_prob = 0.8;
+  /// Outputs confirmed in block h become spendable only at h + maturity.
+  /// 0 = immediately spendable. Depth ≥ 1 lets dissemination pipelines
+  /// validate block h+1 against state that block h cannot have changed.
+  std::size_t maturity = 0;
+  std::uint64_t seed = 42;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig cfg = {});
+
+  /// The genesis block funding all wallets. Call once, feed to Chain.
+  [[nodiscard]] Block make_genesis();
+
+  /// Emits one valid signed transaction spending a random tracked output.
+  /// Returns std::nullopt if no spendable outputs remain (never happens when
+  /// confirm() is called for each produced block).
+  [[nodiscard]] std::optional<Transaction> next_tx();
+
+  /// Emits up to n transactions.
+  [[nodiscard]] std::vector<Transaction> batch(std::size_t n);
+
+  /// Informs the generator that a block confirmed: newly created outputs
+  /// become spendable after cfg.maturity further confirmations.
+  void confirm(const Block& block);
+
+  [[nodiscard]] const std::vector<KeyPair>& wallets() const { return wallets_; }
+
+ private:
+  struct Spendable {
+    OutPoint op;
+    Amount value;
+    std::size_t wallet;  // index into wallets_
+  };
+
+  WorkloadConfig cfg_;
+  Rng rng_;
+  std::vector<KeyPair> wallets_;
+  std::vector<Spendable> spendable_;
+  /// Outputs waiting out their maturity window; front matures first.
+  std::deque<std::vector<Spendable>> maturing_;
+  std::uint64_t tx_nonce_ = 1;
+  bool genesis_made_ = false;
+};
+
+struct ChainGenConfig {
+  std::size_t blocks = 100;
+  std::size_t txs_per_block = 100;  // excludes the coinbase
+  std::uint64_t block_interval_us = 10'000'000;
+  WorkloadConfig workload;
+};
+
+/// Builds a fully valid chain: every block passes Validator::validate_and_apply.
+class ChainGenerator {
+ public:
+  explicit ChainGenerator(ChainGenConfig cfg = {});
+
+  /// Generates the whole chain (genesis + cfg.blocks blocks).
+  [[nodiscard]] Chain generate();
+
+  /// Generates one more block extending `chain` (usable incrementally after
+  /// generate() or on a fresh chain built from make_genesis()).
+  [[nodiscard]] Block next_block(const Chain& chain);
+
+  [[nodiscard]] WorkloadGenerator& workload() { return workload_; }
+
+ private:
+  ChainGenConfig cfg_;
+  WorkloadGenerator workload_;
+  KeyPair miner_;
+};
+
+}  // namespace ici

@@ -1,0 +1,67 @@
+#include "cluster/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ici::cluster {
+
+double rendezvous_weight(const Hash256& block_hash, NodeId node) {
+  ByteWriter w;
+  w.raw(block_hash.span());
+  w.u32(node);
+  const Hash256 h = Hash256::tagged("ici/rendezvous", ByteSpan(w.bytes().data(), w.bytes().size()));
+  // Map to (0, 1]: (low64+1) / 2^64.
+  return (static_cast<double>(h.low64()) + 1.0) * 0x1.0p-64;
+}
+
+std::vector<NodeId> RendezvousAssigner::storers(const Hash256& block_hash, std::uint64_t height,
+                                                const std::vector<NodeInfo>& members,
+                                                std::size_t r) const {
+  (void)height;
+  if (members.empty()) throw std::invalid_argument("RendezvousAssigner: empty cluster");
+  struct Scored {
+    double score;
+    NodeId id;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(members.size());
+  for (const NodeInfo& m : members) {
+    const double u = rendezvous_weight(block_hash, m.id);
+    // Weighted rendezvous (Cache Array Routing Protocol form):
+    // score = -capacity / ln(u); higher capacity wins proportionally often.
+    const double score =
+        capacity_weighted_ ? -m.capacity / std::log(u) : -1.0 / std::log(u);
+    scored.push_back({score, m.id});
+  }
+  const std::size_t take = std::min(r, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  std::vector<NodeId> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(scored[i].id);
+  return out;
+}
+
+std::vector<NodeId> RoundRobinAssigner::storers(const Hash256& block_hash, std::uint64_t height,
+                                                const std::vector<NodeInfo>& members,
+                                                std::size_t r) const {
+  (void)block_hash;
+  if (members.empty()) throw std::invalid_argument("RoundRobinAssigner: empty cluster");
+  // Stable order by id, start at height mod size, wrap for replicas.
+  std::vector<NodeId> sorted;
+  sorted.reserve(members.size());
+  for (const NodeInfo& m : members) sorted.push_back(m.id);
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t take = std::min(r, sorted.size());
+  std::vector<NodeId> out;
+  out.reserve(take);
+  const std::size_t start = static_cast<std::size_t>(height % sorted.size());
+  for (std::size_t i = 0; i < take; ++i) out.push_back(sorted[(start + i) % sorted.size()]);
+  return out;
+}
+
+}  // namespace ici::cluster

@@ -1,0 +1,163 @@
+#include "cluster/clusterer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace ici::cluster {
+
+std::size_t Clustering::smallest() const {
+  std::size_t s = std::numeric_limits<std::size_t>::max();
+  for (const auto& c : clusters) s = std::min(s, c.size());
+  return clusters.empty() ? 0 : s;
+}
+
+std::size_t Clustering::largest() const {
+  std::size_t s = 0;
+  for (const auto& c : clusters) s = std::max(s, c.size());
+  return s;
+}
+
+namespace {
+
+void check_k(std::size_t n, std::size_t k) {
+  if (k == 0 || k > n) throw std::invalid_argument("cluster: k must be in [1, n]");
+}
+
+std::vector<sim::Coord> coords_of(const std::vector<NodeInfo>& nodes) {
+  std::vector<sim::Coord> pts;
+  pts.reserve(nodes.size());
+  for (const NodeInfo& n : nodes) pts.push_back(n.coord);
+  return pts;
+}
+
+/// Moves members from oversized clusters to the nearest undersized one until
+/// every cluster size is within [floor(n/k)/2, 2*ceil(n/k)]. Keeps k-means
+/// locality mostly intact while preventing degenerate tiny clusters (a
+/// 2-node cluster would have to store half the ledger each).
+void balance(const std::vector<NodeInfo>& nodes, Clustering& clustering,
+             const std::vector<sim::Coord>& centroids) {
+  const std::size_t n = nodes.size();
+  const std::size_t k = clustering.clusters.size();
+  const std::size_t target = (n + k - 1) / k;
+  const std::size_t lo = std::max<std::size_t>(1, target / 2);
+
+  auto dist2 = [&](NodeId id, std::size_t c) {
+    const double dx = nodes[id].coord.x - centroids[c].x;
+    const double dy = nodes[id].coord.y - centroids[c].y;
+    return dx * dx + dy * dy;
+  };
+
+  for (std::size_t c = 0; c < k; ++c) {
+    while (clustering.clusters[c].size() < lo) {
+      // Take the closest node from the currently largest cluster.
+      std::size_t donor = c;
+      for (std::size_t d = 0; d < k; ++d) {
+        if (clustering.clusters[d].size() > clustering.clusters[donor].size()) donor = d;
+      }
+      if (donor == c || clustering.clusters[donor].size() <= lo) break;
+      auto& from = clustering.clusters[donor];
+      std::size_t best_i = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t i = 0; i < from.size(); ++i) {
+        const double d = dist2(from[i], c);
+        if (d < best_d) {
+          best_d = d;
+          best_i = i;
+        }
+      }
+      clustering.clusters[c].push_back(from[best_i]);
+      from[best_i] = from.back();
+      from.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+Clustering KMeansClusterer::cluster(const std::vector<NodeInfo>& nodes, std::size_t k) const {
+  check_k(nodes.size(), k);
+  const auto pts = coords_of(nodes);
+  const KMeansResult km = kmeans(pts, k, KMeansConfig{.max_iterations = 100, .seed = seed_});
+
+  Clustering out;
+  out.clusters.assign(k, {});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out.clusters[km.assignment[i]].push_back(nodes[i].id);
+  }
+  if (balance_sizes_) balance(nodes, out, km.centroids);
+  // Deterministic member order.
+  for (auto& c : out.clusters) std::sort(c.begin(), c.end());
+  return out;
+}
+
+Clustering RandomClusterer::cluster(const std::vector<NodeInfo>& nodes, std::size_t k) const {
+  check_k(nodes.size(), k);
+  Rng rng(seed_);
+  std::vector<NodeId> ids;
+  ids.reserve(nodes.size());
+  for (const NodeInfo& n : nodes) ids.push_back(n.id);
+  rng.shuffle(ids);
+
+  // Round-robin deal so sizes differ by at most 1 (never an empty cluster).
+  Clustering out;
+  out.clusters.assign(k, {});
+  for (std::size_t i = 0; i < ids.size(); ++i) out.clusters[i % k].push_back(ids[i]);
+  for (auto& c : out.clusters) std::sort(c.begin(), c.end());
+  return out;
+}
+
+Clustering GridClusterer::cluster(const std::vector<NodeInfo>& nodes, std::size_t k) const {
+  check_k(nodes.size(), k);
+  // Grid of ceil(sqrt(k)) x enough rows; cells map to clusters mod k.
+  const auto cols = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(k))));
+  const auto rows = (k + cols - 1) / cols;
+  Clustering out;
+  out.clusters.assign(k, {});
+  for (const NodeInfo& n : nodes) {
+    auto cx = std::min(cols - 1, static_cast<std::size_t>(n.coord.x / world_size_ *
+                                                          static_cast<double>(cols)));
+    auto cy = std::min(rows - 1, static_cast<std::size_t>(n.coord.y / world_size_ *
+                                                          static_cast<double>(rows)));
+    out.clusters[(cy * cols + cx) % k].push_back(n.id);
+  }
+  // Grid cells can be empty; fold empties by stealing from the largest.
+  for (auto& c : out.clusters) {
+    if (!c.empty()) continue;
+    auto& biggest = *std::max_element(
+        out.clusters.begin(), out.clusters.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    c.push_back(biggest.back());
+    biggest.pop_back();
+  }
+  for (auto& c : out.clusters) std::sort(c.begin(), c.end());
+  return out;
+}
+
+double mean_intra_cluster_distance(const std::vector<NodeInfo>& nodes,
+                                   const Clustering& clustering) {
+  // nodes[i].id may differ from index i in principle; build a lookup.
+  std::vector<const NodeInfo*> by_id(nodes.size(), nullptr);
+  for (const NodeInfo& n : nodes) {
+    if (n.id < by_id.size()) by_id[n.id] = &n;
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (const auto& members : clustering.clusters) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        const NodeInfo* a = by_id[members[i]];
+        const NodeInfo* b = by_id[members[j]];
+        if (a == nullptr || b == nullptr) continue;
+        total += sim::distance(a->coord, b->coord);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace ici::cluster

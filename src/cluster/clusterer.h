@@ -1,0 +1,83 @@
+// Cluster formation strategies. A Clusterer maps the node population to a
+// partition into k clusters; ICIStrategy then enforces intra-cluster
+// integrity on each part.
+//
+// Strategies:
+//  * KMeansClusterer — latency-aware (default, DESIGN.md D1), with a size
+//    balancing pass so no cluster is too small to share the ledger usefully.
+//  * RandomClusterer — ablation baseline: uniformly random partition.
+//  * GridClusterer   — static geographic grid (what a naive deployment does).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/node_info.h"
+
+namespace ici::cluster {
+
+/// A partition: clusters[c] = member node indices into the input vector.
+struct Clustering {
+  std::vector<std::vector<NodeId>> clusters;
+
+  [[nodiscard]] std::size_t cluster_count() const { return clusters.size(); }
+  [[nodiscard]] std::size_t smallest() const;
+  [[nodiscard]] std::size_t largest() const;
+};
+
+class Clusterer {
+ public:
+  virtual ~Clusterer() = default;
+  /// Partitions `nodes` into (about) k clusters. Every node appears in
+  /// exactly one cluster; no cluster is empty.
+  [[nodiscard]] virtual Clustering cluster(const std::vector<NodeInfo>& nodes,
+                                           std::size_t k) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class KMeansClusterer final : public Clusterer {
+ public:
+  explicit KMeansClusterer(std::uint64_t seed = 1, bool balance_sizes = true)
+      : seed_(seed), balance_sizes_(balance_sizes) {}
+
+  [[nodiscard]] Clustering cluster(const std::vector<NodeInfo>& nodes,
+                                   std::size_t k) const override;
+  [[nodiscard]] std::string name() const override { return "kmeans"; }
+
+ private:
+  std::uint64_t seed_;
+  bool balance_sizes_;
+};
+
+class RandomClusterer final : public Clusterer {
+ public:
+  explicit RandomClusterer(std::uint64_t seed = 1) : seed_(seed) {}
+
+  [[nodiscard]] Clustering cluster(const std::vector<NodeInfo>& nodes,
+                                   std::size_t k) const override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class GridClusterer final : public Clusterer {
+ public:
+  explicit GridClusterer(double world_size = 100.0) : world_size_(world_size) {}
+
+  [[nodiscard]] Clustering cluster(const std::vector<NodeInfo>& nodes,
+                                   std::size_t k) const override;
+  [[nodiscard]] std::string name() const override { return "grid"; }
+
+ private:
+  double world_size_;
+};
+
+/// Mean pairwise propagation-style distance inside clusters — the quantity
+/// k-means minimizes and the clustering-ablation experiment reports.
+[[nodiscard]] double mean_intra_cluster_distance(const std::vector<NodeInfo>& nodes,
+                                                 const Clustering& clustering);
+
+}  // namespace ici::cluster

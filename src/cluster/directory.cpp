@@ -1,0 +1,96 @@
+#include "cluster/directory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ici::cluster {
+
+ClusterDirectory::ClusterDirectory(std::vector<NodeInfo> nodes, Clustering clustering)
+    : nodes_(std::move(nodes)), clusters_(std::move(clustering.clusters)) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    id_index_[nodes_[i].id] = i;
+    online_[nodes_[i].id] = true;
+  }
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (NodeId id : clusters_[c]) {
+      if (!id_index_.contains(id))
+        throw std::invalid_argument("ClusterDirectory: clustering references unknown node");
+      node_cluster_[id] = c;
+    }
+  }
+  if (node_cluster_.size() != nodes_.size())
+    throw std::invalid_argument("ClusterDirectory: clustering does not cover all nodes");
+}
+
+std::size_t ClusterDirectory::cluster_of(NodeId id) const {
+  const auto it = node_cluster_.find(id);
+  if (it == node_cluster_.end()) throw std::out_of_range("cluster_of: unknown node");
+  return it->second;
+}
+
+const std::vector<NodeId>& ClusterDirectory::members(std::size_t cluster) const {
+  if (cluster >= clusters_.size()) throw std::out_of_range("members: bad cluster");
+  return clusters_[cluster];
+}
+
+std::vector<NodeInfo> ClusterDirectory::online_members(std::size_t cluster) const {
+  std::vector<NodeInfo> out;
+  for (NodeId id : members(cluster)) {
+    if (online(id)) out.push_back(info(id));
+  }
+  return out;
+}
+
+const NodeInfo& ClusterDirectory::info(NodeId id) const {
+  const auto it = id_index_.find(id);
+  if (it == id_index_.end()) throw std::out_of_range("info: unknown node");
+  return nodes_[it->second];
+}
+
+void ClusterDirectory::set_online(NodeId id, bool on) {
+  const auto it = online_.find(id);
+  if (it == online_.end()) throw std::out_of_range("set_online: unknown node");
+  it->second = on;
+}
+
+bool ClusterDirectory::online(NodeId id) const {
+  const auto it = online_.find(id);
+  if (it == online_.end()) throw std::out_of_range("online: unknown node");
+  return it->second;
+}
+
+std::optional<NodeId> ClusterDirectory::head(std::size_t cluster, std::uint64_t height) const {
+  const auto& ids = members(cluster);
+  std::vector<NodeId> alive;
+  alive.reserve(ids.size());
+  for (NodeId id : ids) {
+    if (online(id)) alive.push_back(id);
+  }
+  if (alive.empty()) return std::nullopt;
+  std::sort(alive.begin(), alive.end());
+  return alive[static_cast<std::size_t>(height % alive.size())];
+}
+
+void ClusterDirectory::add_member(NodeInfo info, std::size_t cluster) {
+  if (cluster >= clusters_.size()) throw std::out_of_range("add_member: bad cluster");
+  if (id_index_.contains(info.id)) throw std::invalid_argument("add_member: duplicate id");
+  id_index_[info.id] = nodes_.size();
+  node_cluster_[info.id] = cluster;
+  online_[info.id] = true;
+  clusters_[cluster].push_back(info.id);
+  std::sort(clusters_[cluster].begin(), clusters_[cluster].end());
+  nodes_.push_back(info);
+}
+
+void ClusterDirectory::remove_member(NodeId id) {
+  const auto it = node_cluster_.find(id);
+  if (it == node_cluster_.end()) throw std::out_of_range("remove_member: unknown node");
+  auto& members = clusters_[it->second];
+  members.erase(std::remove(members.begin(), members.end(), id), members.end());
+  node_cluster_.erase(it);
+  online_.erase(id);
+  // nodes_/id_index_ keep the record for info() history; mark by leaving it.
+  id_index_.erase(id);
+}
+
+}  // namespace ici::cluster

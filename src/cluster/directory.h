@@ -1,0 +1,52 @@
+// ClusterDirectory: the authoritative view of cluster membership every node
+// shares (in a deployment this would be established per epoch by the
+// reconfiguration protocol; in the simulation it is a shared object).
+//
+// Tracks liveness so assignment/repair can work over *online* members, and
+// rotates the cluster-head role by block height to spread coordinator load.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/clusterer.h"
+
+namespace ici::cluster {
+
+class ClusterDirectory {
+ public:
+  ClusterDirectory(std::vector<NodeInfo> nodes, Clustering clustering);
+
+  [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Cluster index of a node.
+  [[nodiscard]] std::size_t cluster_of(NodeId id) const;
+  /// All members of a cluster (online or not).
+  [[nodiscard]] const std::vector<NodeId>& members(std::size_t cluster) const;
+  /// Members currently marked online.
+  [[nodiscard]] std::vector<NodeInfo> online_members(std::size_t cluster) const;
+  [[nodiscard]] const NodeInfo& info(NodeId id) const;
+
+  void set_online(NodeId id, bool online);
+  [[nodiscard]] bool online(NodeId id) const;
+
+  /// Head for a given height: rotates deterministically through the online
+  /// members so every node agrees without messages.
+  [[nodiscard]] std::optional<NodeId> head(std::size_t cluster, std::uint64_t height) const;
+
+  /// Adds a node to a cluster at runtime (bootstrap of a joiner).
+  void add_member(NodeInfo info, std::size_t cluster);
+  /// Permanently removes a node (distinct from transient offline).
+  void remove_member(NodeId id);
+
+ private:
+  std::vector<NodeInfo> nodes_;  // indexed lookup via id_index_
+  std::unordered_map<NodeId, std::size_t> id_index_;
+  std::unordered_map<NodeId, std::size_t> node_cluster_;
+  std::unordered_map<NodeId, bool> online_;
+  std::vector<std::vector<NodeId>> clusters_;
+};
+
+}  // namespace ici::cluster

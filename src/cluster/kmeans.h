@@ -1,0 +1,29 @@
+// Plain 2-D k-means with k-means++ seeding — the geometric engine behind
+// latency-aware cluster formation (DESIGN.md D1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ici::cluster {
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;  // point index -> cluster index [0,k)
+  std::vector<sim::Coord> centroids;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+  std::size_t iterations = 0;
+};
+
+struct KMeansConfig {
+  std::size_t max_iterations = 100;
+  /// Converged when no point changes cluster.
+  std::uint64_t seed = 1;
+};
+
+/// Runs k-means over `points`. k must be in [1, points.size()].
+[[nodiscard]] KMeansResult kmeans(const std::vector<sim::Coord>& points, std::size_t k,
+                                  KMeansConfig cfg = {});
+
+}  // namespace ici::cluster

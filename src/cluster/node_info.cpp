@@ -1,0 +1,38 @@
+#include "cluster/node_info.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ici::cluster {
+
+std::vector<NodeInfo> generate_topology(std::size_t n, std::size_t regions, std::uint64_t seed,
+                                        double world_size, bool heterogeneous_capacity) {
+  Rng rng(seed);
+  // Region centers spread uniformly in the world square.
+  std::vector<Coord> centers;
+  centers.reserve(std::max<std::size_t>(regions, 1));
+  for (std::size_t r = 0; r < std::max<std::size_t>(regions, 1); ++r) {
+    centers.push_back({rng.uniform01() * world_size, rng.uniform01() * world_size});
+  }
+
+  std::vector<NodeInfo> nodes;
+  nodes.reserve(n);
+  const double spread = world_size / 12.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Coord& c = centers[rng.index(centers.size())];
+    NodeInfo info;
+    info.id = static_cast<NodeId>(i);
+    info.coord.x = std::clamp(rng.normal(c.x, spread), 0.0, world_size);
+    info.coord.y = std::clamp(rng.normal(c.y, spread), 0.0, world_size);
+    if (heterogeneous_capacity) {
+      // Lognormal-ish: most nodes near 1, a tail up to ~4x.
+      info.capacity = std::clamp(std::exp(rng.normal(0.0, 0.5)), 0.25, 4.0);
+    }
+    nodes.push_back(info);
+  }
+  return nodes;
+}
+
+}  // namespace ici::cluster

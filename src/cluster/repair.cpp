@@ -1,0 +1,39 @@
+#include "cluster/repair.h"
+
+#include <algorithm>
+
+namespace ici::cluster {
+
+RepairPlan plan_repair(const std::vector<BlockRef>& ledger, const std::vector<NodeInfo>& alive,
+                       const BlockAssigner& assigner, std::size_t replication,
+                       const std::function<bool(NodeId, const Hash256&)>& holds) {
+  RepairPlan plan;
+  if (alive.empty()) {
+    plan.lost = ledger;
+    return plan;
+  }
+  for (const BlockRef& ref : ledger) {
+    const std::vector<NodeId> want = assigner.storers(ref.hash, ref.height, alive, replication);
+
+    // Find any online holder to serve as copy source.
+    NodeId source = kNoNode;
+    for (const NodeInfo& m : alive) {
+      if (holds(m.id, ref.hash)) {
+        source = m.id;
+        break;
+      }
+    }
+    if (source == kNoNode) {
+      plan.lost.push_back(ref);
+      continue;
+    }
+    for (NodeId target : want) {
+      if (!holds(target, ref.hash)) {
+        plan.actions.push_back({ref.hash, ref.height, source, target});
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace ici::cluster

@@ -1,0 +1,39 @@
+// Repair planning: when a member departs (or returns), intra-cluster
+// integrity requires re-deriving the assignment over the surviving members
+// and copying any block whose storer set lost the departed node.
+#pragma once
+
+#include <vector>
+
+#include "cluster/assignment.h"
+#include "cluster/directory.h"
+
+namespace ici::cluster {
+
+struct RepairAction {
+  Hash256 block_hash;
+  std::uint64_t height = 0;
+  NodeId source = 0;  // an online holder to copy from
+  NodeId target = 0;  // the new responsible member
+};
+
+struct BlockRef {
+  Hash256 hash;
+  std::uint64_t height = 0;
+};
+
+/// Plans the copies needed so that, over `alive` members, every block in
+/// `ledger` has its full assigned storer set present among holders.
+/// `holds(node, hash)` reports current possession (the caller knows node
+/// stores). Blocks with no online holder are reported in `lost`.
+struct RepairPlan {
+  std::vector<RepairAction> actions;
+  std::vector<BlockRef> lost;  // unrecoverable inside the cluster
+};
+
+[[nodiscard]] RepairPlan plan_repair(
+    const std::vector<BlockRef>& ledger, const std::vector<NodeInfo>& alive,
+    const BlockAssigner& assigner, std::size_t replication,
+    const std::function<bool(NodeId, const Hash256&)>& holds);
+
+}  // namespace ici::cluster

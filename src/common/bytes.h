@@ -1,0 +1,90 @@
+// Byte-buffer primitives shared by every module: a growable byte vector,
+// little-endian varint-free writers/readers used for canonical serialization
+// of transactions, blocks, and wire messages.
+//
+// Serialization here is deliberately simple and deterministic: fixed-width
+// little-endian integers plus length-prefixed byte strings. Determinism
+// matters because object hashes (txids, block hashes) are computed over
+// these encodings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ici {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Thrown when a ByteReader runs past the end of its buffer or a decoder
+/// observes a malformed encoding.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian values and length-prefixed blobs to a
+/// growable buffer. All chain/wire encodings in this project go through
+/// ByteWriter so the byte layout is defined in exactly one place.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix.
+  void raw(ByteSpan data);
+  /// u32 length prefix followed by the bytes.
+  void blob(ByteSpan data);
+  /// u32 length prefix followed by UTF-8 bytes.
+  void str(const std::string& s);
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Mirror of ByteWriter. Reads throw DecodeError on truncation instead of
+/// returning partial values, so callers never consume garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  /// Reads exactly n raw bytes.
+  [[nodiscard]] Bytes raw(std::size_t n);
+  /// Reads a u32 length prefix then that many bytes.
+  [[nodiscard]] Bytes blob();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+  /// Throws DecodeError unless the whole buffer was consumed.
+  void expect_done(const char* context) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+/// Project-wide invariant check: throws std::logic_error with the message on
+/// failure. Used for programmer errors (violated preconditions), not for
+/// recoverable input errors.
+void ensure(bool cond, const char* msg);
+
+}  // namespace ici

@@ -1,0 +1,127 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ici {
+
+FlagParser::FlagParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void FlagParser::add_uint(const std::string& name, std::uint64_t* out,
+                          const std::string& help) {
+  flags_.push_back({name, Type::kUint, out, help, std::to_string(*out)});
+}
+
+void FlagParser::add_double(const std::string& name, double* out, const std::string& help) {
+  std::ostringstream os;
+  os << *out;
+  flags_.push_back({name, Type::kDouble, out, help, os.str()});
+}
+
+void FlagParser::add_string(const std::string& name, std::string* out,
+                            const std::string& help) {
+  flags_.push_back({name, Type::kString, out, help, *out});
+}
+
+void FlagParser::add_bool(const std::string& name, bool* out, const std::string& help) {
+  flags_.push_back({name, Type::kBool, out, help, *out ? "true" : "false"});
+}
+
+const FlagParser::Flag* FlagParser::find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagParser::assign(const Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kUint: {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<std::uint64_t*>(flag.target) = v;
+      return true;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool FlagParser::parse(int argc, const char* const* argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      if (error != nullptr) error->clear();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      if (error != nullptr) *error = "unexpected positional argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+
+    const Flag* flag = find(name);
+    if (flag == nullptr) {
+      if (error != nullptr) *error = "unknown flag: --" + name;
+      return false;
+    }
+    if (!have_value) {
+      if (flag->type == Type::kBool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        if (error != nullptr) *error = "flag --" + name + " needs a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(*flag, value)) {
+      if (error != nullptr) *error = "bad value for --" + name + ": " + value;
+      return false;
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+std::string FlagParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const Flag& f : flags_) {
+    os << "  --" << f.name << "  " << f.help << " (default: " << f.default_text << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace ici

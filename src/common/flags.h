@@ -1,0 +1,48 @@
+// Minimal command-line flag parser for the CLI tools: --name=value and
+// --name value forms, typed bindings, generated usage text. No external
+// dependencies, strict about unknown flags.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ici {
+
+class FlagParser {
+ public:
+  FlagParser(std::string program, std::string description);
+
+  /// Binds --name to *out (which holds the default). `help` shows in usage().
+  void add_uint(const std::string& name, std::uint64_t* out, const std::string& help);
+  void add_double(const std::string& name, double* out, const std::string& help);
+  void add_string(const std::string& name, std::string* out, const std::string& help);
+  /// Boolean flags accept --name (true), --name=false / --name=true.
+  void add_bool(const std::string& name, bool* out, const std::string& help);
+
+  /// Parses argv. On failure returns false and sets *error. `--help` makes
+  /// parse return false with *error empty (caller prints usage and exits 0).
+  [[nodiscard]] bool parse(int argc, const char* const* argv, std::string* error);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Type { kUint, kDouble, kString, kBool };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_text;
+  };
+
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+  [[nodiscard]] static bool assign(const Flag& flag, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace ici

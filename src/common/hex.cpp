@@ -1,0 +1,38 @@
+#include "common/hex.h"
+
+namespace ici {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw DecodeError("from_hex: invalid hex digit");
+}
+
+}  // namespace
+
+std::string to_hex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw DecodeError("from_hex: odd-length input");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace ici

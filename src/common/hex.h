@@ -1,0 +1,17 @@
+// Hex encoding/decoding for hashes and debug output.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace ici {
+
+/// Lower-case hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(ByteSpan data);
+
+/// Decodes a hex string (case-insensitive). Throws DecodeError on odd length
+/// or non-hex characters.
+[[nodiscard]] Bytes from_hex(const std::string& hex);
+
+}  // namespace ici

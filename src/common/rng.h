@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the simulator (workload generation, node
+// placement, jitter, churn) draws from an explicitly seeded Rng so whole
+// experiments replay bit-identically. The generator is xoshiro256**, seeded
+// through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ici {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Normal(mean, stddev) via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (= 1/lambda). Used for Poisson arrivals.
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// n uniformly random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace ici

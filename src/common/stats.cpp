@@ -1,0 +1,78 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ici {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = x;
+    min_ = x;
+    max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::cv() const {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_;
+}
+
+void Histogram::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  stat_.add(x);
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank with linear interpolation between adjacent ranks.
+  const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  double v = bytes;
+  while (std::abs(v) >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), unit == 0 ? "%.0f %s" : "%.2f %s", v, kUnits[unit]);
+  return buf;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace ici

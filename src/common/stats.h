@@ -1,0 +1,67 @@
+// Lightweight statistics used by the metrics layer and the experiment
+// harnesses: streaming mean/variance (Welford) and a sample-retaining
+// histogram with exact percentiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ici {
+
+/// Streaming mean / variance / min / max. O(1) memory.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all samples; percentiles are exact (nearest-rank on the sorted
+/// sample). Fine for simulation scales (≤ millions of samples).
+class Histogram {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const { return stat_.mean(); }
+  [[nodiscard]] double min() const { return stat_.min(); }
+  [[nodiscard]] double max() const { return stat_.max(); }
+  [[nodiscard]] double stddev() const { return stat_.stddev(); }
+  [[nodiscard]] double sum() const { return stat_.sum(); }
+
+  /// p in [0,100]. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50); }
+  [[nodiscard]] double p90() const { return percentile(90); }
+  [[nodiscard]] double p99() const { return percentile(99); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  RunningStat stat_;
+};
+
+/// "12.3 KiB", "4.0 MiB", ... — used by table output.
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// Fixed-precision double formatting ("%.*f") without iostream state leaks.
+[[nodiscard]] std::string format_double(double v, int precision);
+
+}  // namespace ici

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <stdexcept>
+
+namespace ici {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' || c == '+' ||
+          c == '%' || c == 'e' || c == 'x'))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table::row: arity mismatch with header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = width[c] - cells[c].size();
+      os << "  ";
+      if (looks_numeric(cells[c])) {
+        os << std::string(pad, ' ') << cells[c];
+      } else {
+        os << cells[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace ici

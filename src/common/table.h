@@ -1,0 +1,30 @@
+// Fixed-width ASCII table printer. Every bench binary emits its paper
+// table/figure series through this, so output is uniform and greppable.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ici {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Renders with column-sized padding, a header rule, and right-aligned
+  /// numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ici

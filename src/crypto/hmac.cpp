@@ -1,0 +1,34 @@
+#include "crypto/hmac.h"
+
+#include <array>
+
+namespace ici {
+
+Digest256 hmac_sha256(ByteSpan key, ByteSpan message) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Digest256 kh = Sha256::hash(key);
+    std::copy(kh.begin(), kh.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ByteSpan(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Digest256 inner_digest = inner.final();
+
+  Sha256 outer;
+  outer.update(ByteSpan(opad.data(), opad.size()));
+  outer.update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.final();
+}
+
+}  // namespace ici

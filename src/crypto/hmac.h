@@ -1,0 +1,11 @@
+// HMAC-SHA256 (RFC 2104). Used by the simulated signature scheme and by
+// deterministic per-epoch seed derivation for cluster/committee formation.
+#pragma once
+
+#include "crypto/sha256.h"
+
+namespace ici {
+
+[[nodiscard]] Digest256 hmac_sha256(ByteSpan key, ByteSpan message);
+
+}  // namespace ici

@@ -1,0 +1,78 @@
+#include "crypto/merkle.h"
+
+#include <stdexcept>
+
+namespace ici {
+
+Hash256 merkle_parent(const Hash256& left, const Hash256& right) {
+  Bytes cat;
+  cat.reserve(64);
+  cat.insert(cat.end(), left.bytes().begin(), left.bytes().end());
+  cat.insert(cat.end(), right.bytes().begin(), right.bytes().end());
+  return Hash256::of2(cat);
+}
+
+namespace {
+
+std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
+  std::vector<Hash256> out;
+  out.reserve((level.size() + 1) / 2);
+  for (std::size_t i = 0; i < level.size(); i += 2) {
+    const Hash256& left = level[i];
+    const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+    out.push_back(merkle_parent(left, right));
+  }
+  return out;
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves) : leaf_count_(leaves.size()) {
+  if (leaves.empty()) return;
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) levels_.push_back(next_level(levels_.back()));
+}
+
+Hash256 MerkleTree::root() const {
+  if (levels_.empty()) return Hash256{};
+  return levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) throw std::out_of_range("MerkleTree::prove: bad index");
+  MerkleProof proof;
+  std::size_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sib = (i % 2 == 0) ? i + 1 : i - 1;
+    // Odd-sized level: the last node is paired with itself.
+    const Hash256& sibling = (sib < level.size()) ? level[sib] : level[i];
+    proof.push_back({sibling, i % 2 == 0});
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Hash256& leaf, std::size_t index, const MerkleProof& proof,
+                        const Hash256& root) {
+  Hash256 acc = leaf;
+  std::size_t i = index;
+  for (const MerkleStep& step : proof) {
+    // The claimed index determines the side at every level; a proof whose
+    // flags disagree is lying about the leaf's position.
+    if (step.sibling_is_right != (i % 2 == 0)) return false;
+    acc = step.sibling_is_right ? merkle_parent(acc, step.sibling)
+                                : merkle_parent(step.sibling, acc);
+    i /= 2;
+  }
+  return acc == root;
+}
+
+Hash256 MerkleTree::compute_root(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256{};
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) level = next_level(level);
+  return level.front();
+}
+
+}  // namespace ici

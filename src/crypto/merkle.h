@@ -1,0 +1,50 @@
+// Merkle tree over transaction ids (Bitcoin-style: odd levels duplicate the
+// last node), with inclusion proofs. Collaborative verification in
+// ICIStrategy relies on proofs so a cluster member can check its transaction
+// slice against the block header without holding the whole body.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash.h"
+
+namespace ici {
+
+/// One step of an inclusion proof: the sibling hash and which side it is on.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_is_right = false;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+class MerkleTree {
+ public:
+  /// Builds the full tree. An empty leaf set yields a zero root (the genesis
+  /// convention for an empty block).
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  [[nodiscard]] Hash256 root() const;
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Proof for the leaf at `index`. Throws std::out_of_range when invalid.
+  [[nodiscard]] MerkleProof prove(std::size_t index) const;
+
+  /// Stateless verification: does `leaf` at `index` hash up to `root`?
+  [[nodiscard]] static bool verify(const Hash256& leaf, std::size_t index,
+                                   const MerkleProof& proof, const Hash256& root);
+
+  /// Root without building a reusable tree (one pass, less memory).
+  [[nodiscard]] static Hash256 compute_root(const std::vector<Hash256>& leaves);
+
+ private:
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Hash256>> levels_;
+  std::size_t leaf_count_ = 0;
+};
+
+/// Parent = SHA256d(left || right). Exposed for tests.
+[[nodiscard]] Hash256 merkle_parent(const Hash256& left, const Hash256& right);
+
+}  // namespace ici

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch — the only hash used in the
+// project. Incremental (init/update/final) and one-shot interfaces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ici {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256. Usage: Sha256 h; h.update(a); h.update(b); h.final().
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(ByteSpan data);
+  Sha256& update(const std::string& s);
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  [[nodiscard]] Digest256 final();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest256 hash(ByteSpan data);
+  /// Double SHA-256 (Bitcoin-style object ids).
+  [[nodiscard]] static Digest256 hash2(ByteSpan data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ici

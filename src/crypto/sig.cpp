@@ -1,0 +1,57 @@
+#include "crypto/sig.h"
+
+#include <cstring>
+
+#include "common/hex.h"
+
+namespace ici {
+
+namespace {
+
+Digest256 tag_hash(const char* domain, const PublicKey& pub, ByteSpan message) {
+  Sha256 h;
+  h.update(std::string(domain));
+  h.update(ByteSpan(pub.data(), pub.size()));
+  h.update(message);
+  return h.final();
+}
+
+}  // namespace
+
+KeyPair KeyPair::from_seed(std::uint64_t seed) {
+  KeyPair kp;
+  ByteWriter w;
+  w.str("ici/pk");
+  w.u64(seed);
+  const Digest256 pk = Sha256::hash(ByteSpan(w.bytes().data(), w.bytes().size()));
+  std::memcpy(kp.pub.data(), pk.data(), 32);
+  ByteWriter ws;
+  ws.str("ici/seed");
+  ws.u64(seed);
+  const Digest256 sd = Sha256::hash(ByteSpan(ws.bytes().data(), ws.bytes().size()));
+  std::memcpy(kp.seed.data(), sd.data(), 32);
+  return kp;
+}
+
+Signature sign(const KeyPair& key, ByteSpan message) {
+  const Digest256 t1 = tag_hash("ici/sig", key.pub, message);
+  const Digest256 t2 = tag_hash("ici/sig2", key.pub, message);
+  Signature sig;
+  std::memcpy(sig.data(), t1.data(), 32);
+  std::memcpy(sig.data() + 32, t2.data(), 32);
+  return sig;
+}
+
+bool verify(const PublicKey& pub, ByteSpan message, const Signature& sig) {
+  const Digest256 t1 = tag_hash("ici/sig", pub, message);
+  const Digest256 t2 = tag_hash("ici/sig2", pub, message);
+  return std::memcmp(sig.data(), t1.data(), 32) == 0 &&
+         std::memcmp(sig.data() + 32, t2.data(), 32) == 0;
+}
+
+std::string key_id(const PublicKey& pub) {
+  const Digest256 h = Sha256::hash(ByteSpan(pub.data(), pub.size()));
+  return to_hex(ByteSpan(h.data(), 4));
+}
+
+}  // namespace ici

@@ -1,0 +1,43 @@
+// Simulated signature scheme.
+//
+// SUBSTITUTION (see DESIGN.md): the paper's network would use ECDSA. The
+// experiments measure storage, communication, and latency — quantities that
+// depend on signature *sizes* and *where* verification happens, not on
+// unforgeability. This scheme keeps the wire format of a real scheme
+// (32-byte public key, 64-byte signature) and is deterministic and
+// verifiable in-simulation:
+//
+//   pubkey     = SHA256("ici/pk" || seed)
+//   signature  = HMAC(pubkey-domain) — tag = SHA256("ici/sig" || pub || msg)
+//                || first 32 bytes of SHA256("ici/sig2" || pub || msg)
+//
+// Anyone holding the public key can recompute and check the tag. It is NOT
+// cryptographically secure (signing does not require the private seed) —
+// acceptable because the simulator's honest/byzantine behaviour is scripted,
+// not adversarially chosen. The interface is swap-ready for a real scheme.
+#pragma once
+
+#include <array>
+
+#include "crypto/hash.h"
+
+namespace ici {
+
+using PublicKey = std::array<std::uint8_t, 32>;
+using Signature = std::array<std::uint8_t, 64>;
+
+struct KeyPair {
+  PublicKey pub{};
+  std::array<std::uint8_t, 32> seed{};
+
+  /// Deterministic keypair from a 64-bit seed (node ids use this).
+  [[nodiscard]] static KeyPair from_seed(std::uint64_t seed);
+};
+
+[[nodiscard]] Signature sign(const KeyPair& key, ByteSpan message);
+[[nodiscard]] bool verify(const PublicKey& pub, ByteSpan message, const Signature& sig);
+
+/// Stable short identifier of a public key (first 8 hex chars of its hash).
+[[nodiscard]] std::string key_id(const PublicKey& pub);
+
+}  // namespace ici

@@ -1,0 +1,70 @@
+#include "erasure/gf256.h"
+
+#include <stdexcept>
+
+namespace ici::erasure {
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t = [] {
+    Tables tables;
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      tables.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      tables.log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    // Duplicate so exp[i + j] never needs a mod for i, j < 255.
+    for (int i = 255; i < 512; ++i) {
+      tables.exp[static_cast<std::size_t>(i)] = tables.exp[static_cast<std::size_t>(i - 255)];
+    }
+    return tables;
+  }();
+  return t;
+}
+
+std::uint8_t GF256::mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw std::domain_error("GF256: division by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t GF256::inv(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("GF256: zero has no inverse");
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a]) % 255];
+}
+
+std::uint8_t GF256::pow(std::uint8_t a, std::uint32_t n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const std::uint32_t l = (static_cast<std::uint32_t>(t.log[a]) * n) % 255;
+  return t.exp[l];
+}
+
+std::uint8_t GF256::exp(std::uint32_t n) { return tables().exp[n % 255]; }
+
+void GF256::mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                        std::uint8_t c) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const Tables& t = tables();
+  const std::uint8_t log_c = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp[static_cast<std::size_t>(t.log[s]) + log_c];
+  }
+}
+
+}  // namespace ici::erasure

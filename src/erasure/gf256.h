@@ -1,0 +1,42 @@
+// Arithmetic over GF(2^8) with the 0x11d reduction polynomial (the field
+// used by classic Reed-Solomon storage codes). Log/antilog tables make
+// multiplication two lookups and an add.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ici::erasure {
+
+class GF256 {
+ public:
+  /// Field addition/subtraction (both XOR).
+  [[nodiscard]] static std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+    return static_cast<std::uint8_t>(a ^ b);
+  }
+
+  [[nodiscard]] static std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+  /// Division a / b. Throws std::domain_error when b == 0.
+  [[nodiscard]] static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+  /// Multiplicative inverse. Throws std::domain_error for 0.
+  [[nodiscard]] static std::uint8_t inv(std::uint8_t a);
+  /// a^n with a in the field, n a machine integer.
+  [[nodiscard]] static std::uint8_t pow(std::uint8_t a, std::uint32_t n);
+  /// The generator element (2) raised to n — used to build Vandermonde rows.
+  [[nodiscard]] static std::uint8_t exp(std::uint32_t n);
+
+  /// dst[i] ^= c * src[i] for all i — the row operation encode/decode uses.
+  static void mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                          std::uint8_t c);
+
+ private:
+  struct Tables {
+    std::array<std::uint8_t, 256> log{};
+    std::array<std::uint8_t, 512> exp{};
+  };
+  static const Tables& tables();
+};
+
+}  // namespace ici::erasure

@@ -1,0 +1,153 @@
+#include "erasure/rs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "erasure/gf256.h"
+
+namespace ici::erasure {
+
+ReedSolomon::ReedSolomon(std::size_t data, std::size_t parity)
+    : data_(data), parity_(parity) {
+  if (data == 0) throw std::invalid_argument("ReedSolomon: data must be >= 1");
+  if (data + parity > 255) throw std::invalid_argument("ReedSolomon: data+parity must be <= 255");
+
+  // Systematic generator: V · V_top⁻¹ where V is Vandermonde. The top k
+  // rows become the identity; the bottom p rows stay MDS.
+  Matrix v = vandermonde(data + parity, data);
+  Matrix top(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(data));
+  gen_ = multiply(v, invert(std::move(top)));
+}
+
+ReedSolomon::Matrix ReedSolomon::vandermonde(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, std::vector<std::uint8_t>(cols));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Element base r ensures distinct evaluation points; use exp(r) so
+      // row 0 is all-ones and points never repeat for r < 255.
+      m[r][c] = GF256::pow(GF256::exp(static_cast<std::uint32_t>(r)),
+                           static_cast<std::uint32_t>(c));
+    }
+  }
+  return m;
+}
+
+ReedSolomon::Matrix ReedSolomon::invert(Matrix m) {
+  const std::size_t n = m.size();
+  // Augment with identity, run Gauss-Jordan over GF(256).
+  for (std::size_t r = 0; r < n; ++r) {
+    m[r].resize(2 * n, 0);
+    m[r][n + r] = 1;
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    while (pivot < n && m[pivot][col] == 0) ++pivot;
+    if (pivot == n) throw std::logic_error("ReedSolomon: singular matrix");
+    std::swap(m[col], m[pivot]);
+    // Normalize pivot row.
+    const std::uint8_t inv = GF256::inv(m[col][col]);
+    for (auto& x : m[col]) x = GF256::mul(x, inv);
+    // Eliminate.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col || m[r][col] == 0) continue;
+      const std::uint8_t factor = m[r][col];
+      GF256::mul_add_row(m[r].data(), m[col].data(), 2 * n, factor);
+    }
+  }
+  Matrix out(n, std::vector<std::uint8_t>(n));
+  for (std::size_t r = 0; r < n; ++r) {
+    std::copy(m[r].begin() + static_cast<std::ptrdiff_t>(n), m[r].end(), out[r].begin());
+  }
+  return out;
+}
+
+ReedSolomon::Matrix ReedSolomon::multiply(const Matrix& a, const Matrix& b) {
+  const std::size_t rows = a.size();
+  const std::size_t inner = b.size();
+  const std::size_t cols = b[0].size();
+  Matrix out(rows, std::vector<std::uint8_t>(cols, 0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < inner; ++i) {
+      GF256::mul_add_row(out[r].data(), b[i].data(), cols, a[r][i]);
+    }
+  }
+  return out;
+}
+
+std::size_t ReedSolomon::shard_size(std::size_t payload_size) const {
+  // 4-byte length prefix, then pad to a multiple of data shards.
+  const std::size_t framed = payload_size + 4;
+  return (framed + data_ - 1) / data_;
+}
+
+std::vector<Shard> ReedSolomon::encode(ByteSpan payload) const {
+  const std::size_t per_shard = shard_size(payload.size());
+
+  // Frame: u32 length || payload || zero padding.
+  Bytes framed(per_shard * data_, 0);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) framed[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(len >> (8 * i));
+  std::copy(payload.begin(), payload.end(), framed.begin() + 4);
+
+  std::vector<Shard> shards(total_shards());
+  for (std::size_t i = 0; i < total_shards(); ++i) {
+    shards[i].index = static_cast<std::uint32_t>(i);
+    shards[i].bytes.assign(per_shard, 0);
+  }
+  // Systematic rows are direct copies; parity rows are row-combinations.
+  for (std::size_t r = 0; r < total_shards(); ++r) {
+    for (std::size_t c = 0; c < data_; ++c) {
+      GF256::mul_add_row(shards[r].bytes.data(), framed.data() + c * per_shard, per_shard,
+                         gen_[r][c]);
+    }
+  }
+  return shards;
+}
+
+std::optional<Bytes> ReedSolomon::reconstruct(const std::vector<Shard>& shards) const {
+  // Pick the first `data_` distinct, in-range shards of consistent size.
+  std::vector<const Shard*> chosen;
+  std::vector<bool> seen(total_shards(), false);
+  std::size_t per_shard = 0;
+  for (const Shard& s : shards) {
+    if (s.index >= total_shards() || seen[s.index]) continue;
+    if (per_shard == 0) {
+      per_shard = s.bytes.size();
+      if (per_shard == 0) continue;
+    }
+    if (s.bytes.size() != per_shard) continue;
+    seen[s.index] = true;
+    chosen.push_back(&s);
+    if (chosen.size() == data_) break;
+  }
+  if (chosen.size() < data_) return std::nullopt;
+
+  // Decode matrix: the generator rows of the chosen shards, inverted.
+  Matrix rows(data_, std::vector<std::uint8_t>(data_));
+  for (std::size_t i = 0; i < data_; ++i) rows[i] = gen_[chosen[i]->index];
+  Matrix decode;
+  try {
+    decode = invert(std::move(rows));
+  } catch (const std::logic_error&) {
+    return std::nullopt;  // should not happen for an MDS code
+  }
+
+  Bytes framed(per_shard * data_, 0);
+  for (std::size_t r = 0; r < data_; ++r) {
+    for (std::size_t i = 0; i < data_; ++i) {
+      GF256::mul_add_row(framed.data() + r * per_shard, chosen[i]->bytes.data(), per_shard,
+                         decode[r][i]);
+    }
+  }
+
+  if (framed.size() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(framed[static_cast<std::size_t>(i)])
+                                    << (8 * i);
+  if (len > framed.size() - 4) return std::nullopt;  // corrupt framing
+  return Bytes(framed.begin() + 4, framed.begin() + 4 + len);
+}
+
+}  // namespace ici::erasure

@@ -1,0 +1,64 @@
+// Systematic Reed-Solomon erasure code over GF(2^8).
+//
+// encode() splits a payload into `data` equal shards and derives `parity`
+// extra shards; reconstruct() recovers the payload from ANY `data` of the
+// `data + parity` shards. The generator matrix is a Vandermonde matrix made
+// systematic (top k×k reduced to identity), the standard storage-code
+// construction.
+//
+// ICIStrategy uses this for the fractional-redundancy storage mode: a
+// cluster stores each block as d+p shards on d+p distinct members —
+// (d+p)/d× the block's bytes instead of r× for whole-copy replication,
+// while tolerating any p holders being offline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ici::erasure {
+
+struct Shard {
+  std::uint32_t index = 0;  // 0..data+parity-1; < data means systematic
+  Bytes bytes;
+};
+
+class ReedSolomon {
+ public:
+  /// data ≥ 1, parity ≥ 0, data + parity ≤ 255.
+  ReedSolomon(std::size_t data, std::size_t parity);
+
+  [[nodiscard]] std::size_t data_shards() const { return data_; }
+  [[nodiscard]] std::size_t parity_shards() const { return parity_; }
+  [[nodiscard]] std::size_t total_shards() const { return data_ + parity_; }
+
+  /// Splits `payload` into shards. The payload length is prepended
+  /// internally so reconstruct() can strip padding. Every shard has size
+  /// shard_size(payload.size()).
+  [[nodiscard]] std::vector<Shard> encode(ByteSpan payload) const;
+
+  /// Bytes per shard for a payload of `payload_size` bytes.
+  [[nodiscard]] std::size_t shard_size(std::size_t payload_size) const;
+
+  /// Recovers the payload from any `data` distinct shards (more are
+  /// ignored). Returns nullopt when fewer than `data` distinct valid-sized
+  /// shards are supplied or indices are out of range.
+  [[nodiscard]] std::optional<Bytes> reconstruct(const std::vector<Shard>& shards) const;
+
+ private:
+  using Matrix = std::vector<std::vector<std::uint8_t>>;
+
+  /// Row `r` of the systematic generator matrix (r in [0, data+parity)).
+  [[nodiscard]] const Matrix& generator() const { return gen_; }
+  [[nodiscard]] static Matrix vandermonde(std::size_t rows, std::size_t cols);
+  [[nodiscard]] static Matrix invert(Matrix m);
+  [[nodiscard]] static Matrix multiply(const Matrix& a, const Matrix& b);
+
+  std::size_t data_;
+  std::size_t parity_;
+  Matrix gen_;  // (data+parity) × data, top block = identity
+};
+
+}  // namespace ici::erasure

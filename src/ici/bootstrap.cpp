@@ -1,0 +1,55 @@
+#include "ici/bootstrap.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ici::core {
+
+BootstrapReport Bootstrapper::join(IciNetwork& net, sim::Coord coord) {
+  // Pick the cluster whose members are nearest on average — the same
+  // latency-aware choice the clustering made for the original population.
+  auto& dir = net.directory();
+  std::size_t best_cluster = 0;
+  double best_dist = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < dir.cluster_count(); ++c) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (cluster::NodeId id : dir.members(c)) {
+      total += sim::distance(coord, dir.info(id).coord);
+      ++count;
+    }
+    if (count == 0) continue;
+    const double mean = total / static_cast<double>(count);
+    if (mean < best_dist) {
+      best_dist = mean;
+      best_cluster = c;
+    }
+  }
+
+  const cluster::NodeId joiner = net.add_joiner(coord, best_cluster);
+
+  const std::uint64_t tip_height =
+      net.committed().empty() ? 0 : net.committed().back().height;
+  const auto head = dir.head(best_cluster, tip_height);
+  if (!head) throw std::runtime_error("Bootstrapper: cluster has no online head");
+
+  BootstrapReport report;
+  report.joiner = joiner;
+  report.cluster = best_cluster;
+
+  const sim::SimTime started = net.simulator().now();
+  net.node(joiner).start_bootstrap(*head, [&report, &net, started](std::size_t bodies) {
+    report.complete = true;
+    report.bodies_fetched = bodies;
+    // Stamp completion here: settle() keeps running harmless timeout
+    // no-op events long after the join finished.
+    report.elapsed_us = net.simulator().now() - started;
+  });
+  net.settle();
+  const sim::NodeTraffic& traffic = net.network().traffic(joiner);
+  report.bytes_downloaded = traffic.bytes_received;
+  report.bytes_uploaded = traffic.bytes_sent;
+  return report;
+}
+
+}  // namespace ici::core

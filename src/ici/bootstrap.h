@@ -1,0 +1,29 @@
+// Bootstrap driver: runs the new-node join protocol end-to-end inside the
+// simulation and reports byte-accurate download cost and elapsed time —
+// the quantities experiment E05 compares against full-replication and
+// RapidChain bootstrapping.
+#pragma once
+
+#include "ici/network.h"
+
+namespace ici::core {
+
+struct BootstrapReport {
+  cluster::NodeId joiner = 0;
+  std::size_t cluster = 0;
+  std::uint64_t bytes_downloaded = 0;
+  std::uint64_t bytes_uploaded = 0;
+  sim::SimTime elapsed_us = 0;
+  std::size_t bodies_fetched = 0;
+  bool complete = false;
+};
+
+class Bootstrapper {
+ public:
+  /// Adds a fresh node at `coord`, joins it to the cluster with the nearest
+  /// members, runs the join protocol to completion, and reports the cost.
+  /// The simulation must be quiescent when called.
+  [[nodiscard]] static BootstrapReport join(IciNetwork& net, sim::Coord coord);
+};
+
+}  // namespace ici::core

@@ -1,0 +1,25 @@
+// Wire codec for the ICIStrategy protocol messages.
+//
+// The simulator charges each message its wire_size(); this codec proves
+// those numbers are real by providing an actual encoding of exactly
+// 1 + wire_size() bytes (one self-describing kind byte plus the body — the
+// network's per_message_overhead models transport framing). Deployments
+// lifting the protocol out of the simulator serialize through here.
+#pragma once
+
+#include <memory>
+
+#include "ici/messages.h"
+
+namespace ici::core {
+
+/// Encodes any protocol message: kind byte followed by the body. The result
+/// is always exactly msg.wire_size() + 1 bytes (checked by tests for every
+/// message type).
+[[nodiscard]] Bytes encode_message(const IciMessage& msg);
+
+/// Decodes a message produced by encode_message. Throws DecodeError on a
+/// malformed buffer or unknown kind.
+[[nodiscard]] std::shared_ptr<IciMessage> decode_message(ByteSpan data);
+
+}  // namespace ici::core

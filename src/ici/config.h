@@ -1,0 +1,65 @@
+// ICIStrategy configuration knobs. Defaults reproduce the paper's headline
+// setting; every experiment sweeps a subset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace ici::core {
+
+struct IciConfig {
+  /// Number of clusters k. Per-cluster size m ≈ N/k determines the per-node
+  /// storage share (D·r/m).
+  std::size_t cluster_count = 8;
+
+  /// Intra-cluster replication r (DESIGN.md D3). 1 = pure ICI as in the
+  /// abstract: each body lives on exactly one member; the cluster as a whole
+  /// is the redundancy unit. Ignored when erasure coding is enabled.
+  std::size_t replication = 1;
+
+  /// Erasure-coded storage mode (extension of D3): when erasure_data > 0,
+  /// each committed block is Reed-Solomon encoded into erasure_data +
+  /// erasure_parity shards stored on that many distinct members. Per-node
+  /// storage cost becomes (d+p)/d of a block split d ways instead of whole
+  /// copies, and the cluster tolerates any `erasure_parity` holders being
+  /// offline per block. 0 = whole-copy replication (the paper's mode).
+  std::size_t erasure_data = 0;
+  std::size_t erasure_parity = 0;
+
+  /// Weight the rendezvous assignment by node capacity (D2).
+  bool capacity_weighted_assignment = true;
+
+  /// Clustering strategy: "kmeans" (default), "random", or "grid" (D1).
+  std::string clustering = "kmeans";
+
+  /// Fraction of online members whose approval commits a block (D4).
+  double vote_quorum = 2.0 / 3.0;
+
+  /// Head gives up waiting for votes after this much simulated time and
+  /// commits/aborts on what it has.
+  sim::SimTime verify_timeout_us = 30'000'000;
+
+  /// A member gives up on outstanding UTXO-shard lookups after this long and
+  /// votes with what it knows (missing lookups count as unknown, which the
+  /// member treats as approve-with-caveat; see IciNode::finish_slice).
+  sim::SimTime lookup_timeout_us = 5'000'000;
+
+  /// A fetching node tries the next candidate storer after this long.
+  sim::SimTime fetch_timeout_us = 10'000'000;
+
+  /// When a block's own-cluster holders are all unreachable, fall back to
+  /// the storers of other clusters (the network keeps k copies — one per
+  /// cluster). Costs a wider-area fetch but turns cluster-local outages
+  /// into latency instead of misses.
+  bool cross_cluster_fallback = true;
+
+  /// Deterministic seeds for clustering / placement.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool valid(std::string* why = nullptr) const;
+};
+
+}  // namespace ici::core

@@ -1,0 +1,4 @@
+#include "ici/messages.h"
+
+// Message types are header-only; this TU anchors vtables in one place.
+namespace ici::core {}

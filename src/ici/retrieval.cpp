@@ -1,0 +1,46 @@
+#include "ici/retrieval.h"
+
+#include "common/rng.h"
+
+namespace ici::core {
+
+RetrievalStats RetrievalDriver::run(IciNetwork& net, std::size_t count, std::uint64_t seed) {
+  RetrievalStats stats;
+  const auto& committed = net.committed();
+  if (committed.empty() || count == 0) return stats;
+
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Pick an online requester.
+    cluster::NodeId requester = cluster::kNoNode;
+    for (std::size_t tries = 0; tries < 4 * net.node_count(); ++tries) {
+      const auto candidate =
+          static_cast<cluster::NodeId>(rng.index(net.node_count()));
+      if (net.directory().online(candidate)) {
+        requester = candidate;
+        break;
+      }
+    }
+    if (requester == cluster::kNoNode) break;
+
+    const auto& block = committed[rng.index(committed.size())];
+    net.node(requester).fetch_block(
+        block.hash, block.height,
+        [&stats](std::shared_ptr<const Block> b, sim::SimTime elapsed) {
+          if (!b) {
+            ++stats.misses;
+          } else if (elapsed == 0) {
+            ++stats.local_hits;
+          } else {
+            ++stats.remote_hits;
+            stats.latency_us.add(static_cast<double>(elapsed));
+          }
+        });
+    // Settle each fetch before issuing the next so latencies do not contend
+    // on uplinks (the experiment isolates retrieval latency).
+    net.settle();
+  }
+  return stats;
+}
+
+}  // namespace ici::core

@@ -1,0 +1,25 @@
+// Retrieval driver: issues random historical-block fetches from random
+// nodes and reports the latency distribution (experiment E11).
+#pragma once
+
+#include "common/stats.h"
+#include "ici/network.h"
+
+namespace ici::core {
+
+struct RetrievalStats {
+  Histogram latency_us;  // remote fetches only
+  std::size_t local_hits = 0;
+  std::size_t remote_hits = 0;
+  std::size_t misses = 0;
+};
+
+class RetrievalDriver {
+ public:
+  /// Runs `count` fetches of uniformly random committed blocks from
+  /// uniformly random online nodes. The simulation must be quiescent.
+  [[nodiscard]] static RetrievalStats run(IciNetwork& net, std::size_t count,
+                                          std::uint64_t seed);
+};
+
+}  // namespace ici::core

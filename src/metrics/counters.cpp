@@ -1,0 +1,4 @@
+#include "metrics/counters.h"
+
+// Counter is header-only today; this TU anchors the library target.
+namespace ici::metrics {}

@@ -1,0 +1,26 @@
+// Named counters and histograms for protocol-level metrics (events the
+// network layer cannot see: verification outcomes, repair actions, retrieval
+// hits/misses, end-to-end latencies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+
+namespace ici::metrics {
+
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Latency/size distribution; thin alias with a domain name.
+using Distribution = ici::Histogram;
+
+}  // namespace ici::metrics

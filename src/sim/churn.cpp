@@ -1,0 +1,39 @@
+#include "sim/churn.h"
+
+namespace ici::sim {
+
+ChurnModel::ChurnModel(Network& net, ChurnConfig cfg) : net_(net), cfg_(cfg), rng_(cfg.seed) {}
+
+void ChurnModel::start(const std::vector<NodeId>& candidates, Callback on_change) {
+  on_change_ = std::move(on_change);
+  for (NodeId id : candidates) {
+    if (rng_.chance(cfg_.churn_fraction)) {
+      churned_.push_back(id);
+      schedule_down(id);
+    }
+  }
+}
+
+void ChurnModel::schedule_down(NodeId id) {
+  const auto delay =
+      static_cast<SimTime>(rng_.exponential(static_cast<double>(cfg_.mean_uptime_us)));
+  net_.simulator().after(delay, [this, id] {
+    if (!net_.online(id)) return;
+    net_.set_online(id, false);
+    if (on_change_) on_change_(id, false);
+    schedule_up(id);
+  });
+}
+
+void ChurnModel::schedule_up(NodeId id) {
+  const auto delay =
+      static_cast<SimTime>(rng_.exponential(static_cast<double>(cfg_.mean_downtime_us)));
+  net_.simulator().after(delay, [this, id] {
+    if (net_.online(id)) return;
+    net_.set_online(id, true);
+    if (on_change_) on_change_(id, true);
+    schedule_down(id);
+  });
+}
+
+}  // namespace ici::sim

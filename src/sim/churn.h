@@ -1,0 +1,48 @@
+// Node churn: alternating online/offline sessions with exponential
+// durations. Experiment E07 (availability under churn) drives this.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace ici::sim {
+
+struct ChurnConfig {
+  /// Mean online session length before a node goes down.
+  SimTime mean_uptime_us = 600'000'000;  // 10 min
+  /// Mean downtime before it returns.
+  SimTime mean_downtime_us = 60'000'000;  // 1 min
+  /// Fraction of nodes subject to churn (the rest are stable).
+  double churn_fraction = 0.3;
+  std::uint64_t seed = 99;
+};
+
+/// Drives set_online(id, …) on the network and invokes observer callbacks so
+/// protocols can trigger repair.
+class ChurnModel {
+ public:
+  ChurnModel(Network& net, ChurnConfig cfg);
+
+  using Callback = std::function<void(NodeId, bool /*online*/)>;
+
+  /// Selects the churned subset from `candidates` and schedules their first
+  /// down events. `on_change` fires after the network state flips.
+  void start(const std::vector<NodeId>& candidates, Callback on_change);
+
+  [[nodiscard]] const std::vector<NodeId>& churned_nodes() const { return churned_; }
+
+ private:
+  void schedule_down(NodeId id);
+  void schedule_up(NodeId id);
+
+  Network& net_;
+  ChurnConfig cfg_;
+  ici::Rng rng_;
+  Callback on_change_;
+  std::vector<NodeId> churned_;
+};
+
+}  // namespace ici::sim

@@ -1,0 +1,26 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace ici::sim {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().at;
+}
+
+SimTime EventQueue::run_next() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::run_next: empty");
+  // priority_queue::top returns const&; move via const_cast is safe because
+  // the entry is popped immediately after.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  entry.action();
+  return entry.at;
+}
+
+}  // namespace ici::sim

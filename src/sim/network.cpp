@@ -1,0 +1,122 @@
+#include "sim/network.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ici::sim {
+
+double distance(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Network::Network(Simulator& simulator, NetworkConfig cfg)
+    : sim_(simulator), cfg_(cfg), rng_(cfg.seed) {}
+
+NodeId Network::add_node(INode* node, Coord coord, double uplink_bps) {
+  NodeSlot slot;
+  slot.endpoint = node;
+  slot.coord = coord;
+  slot.uplink_bps = uplink_bps > 0.0 ? uplink_bps : cfg_.default_uplink_bps;
+  nodes_.push_back(slot);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::rebind(NodeId id, INode* node) {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::rebind");
+  nodes_[id].endpoint = node;
+}
+
+void Network::set_online(NodeId id, bool online) {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::set_online");
+  nodes_[id].online = online;
+}
+
+bool Network::online(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::online");
+  return nodes_[id].online;
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    throw std::out_of_range("Network::send: unknown node");
+  if (!msg) throw std::invalid_argument("Network::send: null message");
+  NodeSlot& src = nodes_[from];
+  if (!src.online) return;  // a dead node sends nothing
+
+  const std::size_t wire = msg->wire_size() + cfg_.per_message_overhead;
+  src.traffic.msgs_sent += 1;
+  src.traffic.bytes_sent += wire;
+
+  if (from == to) {
+    // Loopback: no uplink charge beyond accounting, minimal scheduling delay.
+    sim_.after(1, [this, from, to, msg = std::move(msg), wire] {
+      NodeSlot& dst = nodes_[to];
+      if (!dst.online || dst.endpoint == nullptr) return;
+      dst.traffic.msgs_received += 1;
+      dst.traffic.bytes_received += wire;
+      dst.endpoint->on_message(from, msg);
+    });
+    return;
+  }
+
+  const double transfer_us = static_cast<double>(wire) / src.uplink_bps * 1e6;
+  const SimTime start = std::max(sim_.now(), src.uplink_busy_until);
+  const SimTime departure = start + static_cast<SimTime>(transfer_us);
+  src.uplink_busy_until = departure;
+
+  const double prop =
+      cfg_.base_propagation_us + distance(src.coord, nodes_[to].coord) * cfg_.us_per_distance_unit;
+  const double jitter = std::max(0.0, rng_.normal(0.0, cfg_.jitter_stddev_us));
+  const SimTime arrival = departure + static_cast<SimTime>(prop + jitter);
+
+  sim_.at(arrival, [this, from, to, msg = std::move(msg), wire] {
+    NodeSlot& dst = nodes_[to];
+    if (!dst.online || dst.endpoint == nullptr) return;  // dropped in flight
+    dst.traffic.msgs_received += 1;
+    dst.traffic.bytes_received += wire;
+    dst.endpoint->on_message(from, msg);
+  });
+}
+
+void Network::multicast(NodeId from, const std::vector<NodeId>& to, const MessagePtr& msg) {
+  for (NodeId t : to) {
+    if (t == from) continue;
+    send(from, t, msg);
+  }
+}
+
+const Coord& Network::coord(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::coord");
+  return nodes_[id].coord;
+}
+
+double Network::propagation_us(NodeId a, NodeId b) const {
+  if (a >= nodes_.size() || b >= nodes_.size())
+    throw std::out_of_range("Network::propagation_us");
+  return cfg_.base_propagation_us +
+         distance(nodes_[a].coord, nodes_[b].coord) * cfg_.us_per_distance_unit;
+}
+
+const NodeTraffic& Network::traffic(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::traffic");
+  return nodes_[id].traffic;
+}
+
+NodeTraffic Network::total_traffic() const {
+  NodeTraffic total;
+  for (const NodeSlot& n : nodes_) {
+    total.msgs_sent += n.traffic.msgs_sent;
+    total.msgs_received += n.traffic.msgs_received;
+    total.bytes_sent += n.traffic.bytes_sent;
+    total.bytes_received += n.traffic.bytes_received;
+  }
+  return total;
+}
+
+void Network::reset_traffic() {
+  for (NodeSlot& n : nodes_) n.traffic = NodeTraffic{};
+}
+
+}  // namespace ici::sim

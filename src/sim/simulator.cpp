@@ -1,0 +1,27 @@
+#include "sim/simulator.h"
+
+namespace ici::sim {
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (!queue_.empty() && n < max_events) {
+    // Advance the clock before executing so the event observes its own time.
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace ici::sim

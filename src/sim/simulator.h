@@ -1,0 +1,36 @@
+// Simulator: the clock + event queue facade protocols schedule against.
+#pragma once
+
+#include "sim/event_queue.h"
+
+namespace ici::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules relative to now.
+  void after(SimTime delay, EventQueue::Action action) {
+    queue_.schedule_at(now_ + delay, std::move(action));
+  }
+  void at(SimTime when, EventQueue::Action action) {
+    queue_.schedule_at(when < now_ ? now_ : when, std::move(action));
+  }
+
+  /// Runs events until the queue drains or `max_events` fire. Returns the
+  /// number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with time ≤ deadline; the clock ends at
+  /// max(now, deadline) even if the queue drained early.
+  std::size_t run_until(SimTime deadline);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace ici::sim

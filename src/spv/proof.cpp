@@ -1,0 +1,67 @@
+#include "spv/proof.h"
+
+namespace ici::spv {
+
+std::optional<TxInclusionProof> build_proof(const Block& block, const Hash256& txid) {
+  const std::vector<Hash256> ids = block.txids();
+  std::size_t index = ids.size();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == txid) {
+      index = i;
+      break;
+    }
+  }
+  if (index == ids.size()) return std::nullopt;
+
+  MerkleTree tree(ids);
+  TxInclusionProof proof;
+  proof.txid = txid;
+  proof.block_hash = block.hash();
+  proof.height = block.header().height;
+  proof.tx_index = static_cast<std::uint32_t>(index);
+  proof.path = tree.prove(index);
+  return proof;
+}
+
+bool verify_proof(const TxInclusionProof& proof, const BlockHeader& header) {
+  if (header.hash() != proof.block_hash) return false;
+  if (header.height != proof.height) return false;
+  return MerkleTree::verify(proof.txid, proof.tx_index, proof.path, header.merkle_root);
+}
+
+LightClient::LightClient(const BlockHeader& genesis) {
+  headers_.push_back(genesis);
+  hashes_.push_back(genesis.hash());
+}
+
+bool LightClient::add_header(const BlockHeader& header) {
+  if (header.parent != hashes_.back()) return false;
+  if (header.height != headers_.back().height + 1) return false;
+  headers_.push_back(header);
+  hashes_.push_back(header.hash());
+  return true;
+}
+
+std::size_t LightClient::sync(const std::vector<BlockHeader>& headers) {
+  std::size_t accepted = 0;
+  for (const BlockHeader& h : headers) {
+    if (h.height <= tip_height()) continue;  // already have it / genesis
+    if (!add_header(h)) break;
+    ++accepted;
+  }
+  return accepted;
+}
+
+const BlockHeader* LightClient::header_at(std::uint64_t height) const {
+  if (height >= headers_.size()) return nullptr;
+  return &headers_[height];
+}
+
+bool LightClient::validate(const TxInclusionProof& proof) const {
+  const BlockHeader* header = header_at(proof.height);
+  if (header == nullptr) return false;
+  if (hashes_[proof.height] != proof.block_hash) return false;
+  return verify_proof(proof, *header);
+}
+
+}  // namespace ici::spv

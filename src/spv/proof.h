@@ -1,0 +1,65 @@
+// SPV (light client) support: transaction-inclusion proofs against the
+// header chain.
+//
+// ICIStrategy keeps every header on every node, which is exactly the state
+// a light client needs: a wallet can track the header chain and verify
+// that a transaction is committed with one Merkle path from any single
+// body- (or shard-) holding member — no trust in the serving node
+// required.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chain/block.h"
+
+namespace ici::spv {
+
+struct TxInclusionProof {
+  Hash256 txid;
+  Hash256 block_hash;
+  std::uint64_t height = 0;
+  std::uint32_t tx_index = 0;
+  MerkleProof path;
+
+  /// Serialized size on the wire.
+  [[nodiscard]] std::size_t wire_size() const { return 32 + 32 + 8 + 4 + path.size() * 33; }
+};
+
+/// Builds the proof for `txid` inside `block`, or nullopt when absent.
+[[nodiscard]] std::optional<TxInclusionProof> build_proof(const Block& block,
+                                                          const Hash256& txid);
+
+/// Verifies a proof against the header it claims: the path must hash up to
+/// the header's Merkle root and the header must match the claimed block.
+[[nodiscard]] bool verify_proof(const TxInclusionProof& proof, const BlockHeader& header);
+
+/// A header-only chain follower: accepts headers in order, enforcing parent
+/// linkage, then validates inclusion proofs offline.
+class LightClient {
+ public:
+  /// Starts from a trusted genesis header.
+  explicit LightClient(const BlockHeader& genesis);
+
+  /// Appends the next header; rejects (returns false) on broken linkage or
+  /// wrong height.
+  bool add_header(const BlockHeader& header);
+
+  /// Bulk sync convenience; stops at the first rejected header and returns
+  /// how many were accepted.
+  std::size_t sync(const std::vector<BlockHeader>& headers);
+
+  [[nodiscard]] std::uint64_t tip_height() const { return headers_.back().height; }
+  [[nodiscard]] std::size_t size() const { return headers_.size(); }
+  [[nodiscard]] const BlockHeader* header_at(std::uint64_t height) const;
+
+  /// Full light-client check: the proof's block must be in the followed
+  /// chain at the claimed height, and the Merkle path must verify.
+  [[nodiscard]] bool validate(const TxInclusionProof& proof) const;
+
+ private:
+  std::vector<BlockHeader> headers_;
+  std::vector<Hash256> hashes_;  // parallel, avoids re-hashing
+};
+
+}  // namespace ici::spv

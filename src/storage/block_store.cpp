@@ -1,0 +1,82 @@
+#include "storage/block_store.h"
+
+namespace ici {
+
+void BlockStore::put_header(const BlockHeader& header) { put_header(header, header.hash()); }
+
+void BlockStore::put_header(const BlockHeader& header, const Hash256& hash) {
+  if (headers_.emplace(hash, header).second) {
+    header_by_height_[header.height] = hash;
+  }
+}
+
+std::optional<BlockHeader> BlockStore::header_by_hash(const Hash256& hash) const {
+  const auto it = headers_.find(hash);
+  if (it == headers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<BlockHeader> BlockStore::header_at(std::uint64_t height) const {
+  const auto it = header_by_height_.find(height);
+  if (it == header_by_height_.end()) return std::nullopt;
+  return header_by_hash(it->second);
+}
+
+void BlockStore::put_block(std::shared_ptr<const Block> block) {
+  const Hash256 hash = block->hash();
+  put_block(std::move(block), hash);
+}
+
+void BlockStore::put_block(const Block& block) {
+  put_block(std::make_shared<const Block>(block));
+}
+
+void BlockStore::put_block(const Block& block, const Hash256& hash) {
+  put_block(std::make_shared<const Block>(block), hash);
+}
+
+void BlockStore::put_block(std::shared_ptr<const Block> block, const Hash256& hash) {
+  put_header(block->header(), hash);
+  if (bodies_.contains(hash)) return;
+  body_bytes_ += block->serialized_size();
+  bodies_.emplace(hash, std::move(block));
+}
+
+const Block* BlockStore::block_by_hash(const Hash256& hash) const {
+  const auto it = bodies_.find(hash);
+  if (it == bodies_.end()) return nullptr;
+  return it->second.get();
+}
+
+std::shared_ptr<const Block> BlockStore::block_ptr(const Hash256& hash) const {
+  const auto it = bodies_.find(hash);
+  if (it == bodies_.end()) return nullptr;
+  return it->second;
+}
+
+const Block* BlockStore::block_at(std::uint64_t height) const {
+  const auto it = header_by_height_.find(height);
+  if (it == header_by_height_.end()) return nullptr;
+  return block_by_hash(it->second);
+}
+
+std::uint64_t BlockStore::prune_block(const Hash256& hash) {
+  const auto it = bodies_.find(hash);
+  if (it == bodies_.end()) return 0;
+  const std::uint64_t freed = it->second->serialized_size();
+  body_bytes_ -= freed;
+  bodies_.erase(it);
+  return freed;
+}
+
+std::vector<Hash256> BlockStore::stored_hashes() const {
+  std::vector<Hash256> out;
+  out.reserve(bodies_.size());
+  for (const auto& [h, b] : bodies_) {
+    (void)b;
+    out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace ici

@@ -1,0 +1,64 @@
+// Per-node storage: every node keeps all headers (cheap) plus the block
+// bodies it is responsible for. Accounting is byte-accurate over the wire
+// encodings — the quantity the paper's storage experiments compare.
+//
+// Bodies are held as shared_ptr<const Block>: blocks are immutable, so the
+// thousands of simulated nodes share one object per block while each store's
+// byte accounting still reflects what a real node would persist.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.h"
+
+namespace ici {
+
+class BlockStore {
+ public:
+  /// Stores a header (idempotent). Headers index by hash and height.
+  void put_header(const BlockHeader& header);
+  /// Same, with the hash precomputed by the caller (bulk-load fast path).
+  void put_header(const BlockHeader& header, const Hash256& hash);
+  [[nodiscard]] std::optional<BlockHeader> header_by_hash(const Hash256& hash) const;
+  [[nodiscard]] std::optional<BlockHeader> header_at(std::uint64_t height) const;
+  [[nodiscard]] std::size_t header_count() const { return headers_.size(); }
+
+  /// Stores a full block body (idempotent; also records the header).
+  void put_block(std::shared_ptr<const Block> block);
+  void put_block(const Block& block);
+  /// Same, with the hash precomputed by the caller (bulk-load fast path).
+  void put_block(std::shared_ptr<const Block> block, const Hash256& hash);
+  void put_block(const Block& block, const Hash256& hash);
+  [[nodiscard]] bool has_block(const Hash256& hash) const { return bodies_.contains(hash); }
+  [[nodiscard]] const Block* block_by_hash(const Hash256& hash) const;
+  /// Zero-copy handle for serving the block over the network.
+  [[nodiscard]] std::shared_ptr<const Block> block_ptr(const Hash256& hash) const;
+  [[nodiscard]] const Block* block_at(std::uint64_t height) const;
+  [[nodiscard]] std::size_t block_count() const { return bodies_.size(); }
+
+  /// Drops a body (header retained). Returns bytes freed, 0 if absent.
+  std::uint64_t prune_block(const Hash256& hash);
+
+  /// Bytes of stored bodies.
+  [[nodiscard]] std::uint64_t body_bytes() const { return body_bytes_; }
+  /// Bytes of stored headers.
+  [[nodiscard]] std::uint64_t header_bytes() const {
+    return headers_.size() * BlockHeader::kWireSize;
+  }
+  /// Total footprint (bodies + headers).
+  [[nodiscard]] std::uint64_t total_bytes() const { return body_bytes() + header_bytes(); }
+
+  /// Hashes of all stored bodies (unordered).
+  [[nodiscard]] std::vector<Hash256> stored_hashes() const;
+
+ private:
+  std::unordered_map<Hash256, BlockHeader, Hash256Hasher> headers_;
+  std::unordered_map<std::uint64_t, Hash256> header_by_height_;
+  std::unordered_map<Hash256, std::shared_ptr<const Block>, Hash256Hasher> bodies_;
+  std::uint64_t body_bytes_ = 0;
+};
+
+}  // namespace ici

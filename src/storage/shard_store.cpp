@@ -1,0 +1,56 @@
+#include "storage/shard_store.h"
+
+namespace ici {
+
+void ShardStore::put(const Hash256& block, erasure::Shard shard) {
+  auto& per_block = shards_[block];
+  const auto [it, inserted] = per_block.emplace(shard.index, std::move(shard));
+  if (inserted) {
+    total_bytes_ += it->second.bytes.size();
+    ++shard_count_;
+  }
+}
+
+bool ShardStore::has(const Hash256& block, std::uint32_t index) const {
+  const auto it = shards_.find(block);
+  return it != shards_.end() && it->second.contains(index);
+}
+
+bool ShardStore::has_any(const Hash256& block) const {
+  const auto it = shards_.find(block);
+  return it != shards_.end() && !it->second.empty();
+}
+
+const erasure::Shard* ShardStore::get(const Hash256& block, std::uint32_t index) const {
+  const auto it = shards_.find(block);
+  if (it == shards_.end()) return nullptr;
+  const auto inner = it->second.find(index);
+  return inner == it->second.end() ? nullptr : &inner->second;
+}
+
+std::vector<std::uint32_t> ShardStore::indices(const Hash256& block) const {
+  std::vector<std::uint32_t> out;
+  const auto it = shards_.find(block);
+  if (it == shards_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [index, shard] : it->second) {
+    (void)shard;
+    out.push_back(index);
+  }
+  return out;
+}
+
+std::uint64_t ShardStore::prune(const Hash256& block, std::uint32_t index) {
+  const auto it = shards_.find(block);
+  if (it == shards_.end()) return 0;
+  const auto inner = it->second.find(index);
+  if (inner == it->second.end()) return 0;
+  const std::uint64_t freed = inner->second.bytes.size();
+  total_bytes_ -= freed;
+  --shard_count_;
+  it->second.erase(inner);
+  if (it->second.empty()) shards_.erase(it);
+  return freed;
+}
+
+}  // namespace ici

@@ -1,0 +1,41 @@
+// Per-node erasure-shard storage for ICIStrategy's coded mode: instead of
+// whole block bodies, a member holds one Reed-Solomon shard per block
+// (index = its rank in the block's holder list). Byte-accurate accounting,
+// like BlockStore.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "erasure/rs.h"
+
+namespace ici {
+
+class ShardStore {
+ public:
+  /// Stores (idempotent per (block, index)).
+  void put(const Hash256& block, erasure::Shard shard);
+
+  [[nodiscard]] bool has(const Hash256& block, std::uint32_t index) const;
+  [[nodiscard]] bool has_any(const Hash256& block) const;
+  [[nodiscard]] const erasure::Shard* get(const Hash256& block, std::uint32_t index) const;
+  /// All shard indices held for a block (unordered).
+  [[nodiscard]] std::vector<std::uint32_t> indices(const Hash256& block) const;
+
+  /// Drops one shard; returns bytes freed.
+  std::uint64_t prune(const Hash256& block, std::uint32_t index);
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+
+ private:
+  std::unordered_map<Hash256, std::unordered_map<std::uint32_t, erasure::Shard>, Hash256Hasher>
+      shards_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t shard_count_ = 0;
+};
+
+}  // namespace ici

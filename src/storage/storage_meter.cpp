@@ -1,0 +1,21 @@
+#include "storage/storage_meter.h"
+
+namespace ici {
+
+StorageSnapshot StorageMeter::snapshot(const std::vector<const BlockStore*>& stores) {
+  StorageSnapshot snap;
+  RunningStat stat;
+  for (const BlockStore* s : stores) {
+    const auto bytes = static_cast<double>(s->total_bytes());
+    stat.add(bytes);
+    snap.total_bytes += s->total_bytes();
+  }
+  snap.mean_bytes = stat.mean();
+  snap.max_bytes = stat.max();
+  snap.min_bytes = stat.min();
+  snap.cv = stat.cv();
+  snap.node_count = stores.size();
+  return snap;
+}
+
+}  // namespace ici

@@ -1,0 +1,27 @@
+// Fleet-level storage accounting: aggregates per-node BlockStore footprints
+// into the distributions the storage experiments report.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "storage/block_store.h"
+
+namespace ici {
+
+struct StorageSnapshot {
+  std::uint64_t total_bytes = 0;
+  double mean_bytes = 0.0;
+  double max_bytes = 0.0;
+  double min_bytes = 0.0;
+  double cv = 0.0;  // load-balance quality: stddev/mean of per-node bytes
+  std::size_t node_count = 0;
+};
+
+class StorageMeter {
+ public:
+  /// Snapshot over a set of stores (one per node).
+  [[nodiscard]] static StorageSnapshot snapshot(const std::vector<const BlockStore*>& stores);
+};
+
+}  // namespace ici

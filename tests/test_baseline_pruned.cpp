@@ -1,0 +1,107 @@
+#include "baseline/pruned.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/workload.h"
+
+namespace ici::baseline {
+namespace {
+
+Chain make_chain(std::size_t blocks = 20) {
+  ChainGenConfig cfg;
+  cfg.blocks = blocks;
+  cfg.txs_per_block = 6;
+  return ChainGenerator(cfg).generate();
+}
+
+TEST(Pruned, KeepsOnlyWindowedBodies) {
+  const Chain chain = make_chain(20);
+  PrunedConfig cfg;
+  cfg.window = 5;
+  PrunedNetwork net(cfg);
+  net.preload_chain(chain);
+
+  const PrunedNode& node = net.node();
+  EXPECT_EQ(node.store().block_count(), 5u);
+  EXPECT_EQ(node.store().header_count(), chain.size());  // headers all kept
+  // Exactly the newest 5 bodies.
+  for (std::uint64_t h = 0; h <= chain.height(); ++h) {
+    EXPECT_EQ(node.store().has_block(chain.at_height(h).hash()), h > chain.height() - 5)
+        << "height " << h;
+  }
+}
+
+TEST(Pruned, UtxoSnapshotMatchesReplay) {
+  const Chain chain = make_chain(12);
+  PrunedConfig cfg;
+  cfg.window = 3;
+  PrunedNetwork net(cfg);
+  net.preload_chain(chain);
+
+  UtxoSet expected;
+  for (const Block& b : chain.blocks()) {
+    for (const Transaction& tx : b.txs()) expected.apply_tx(tx, b.header().height);
+  }
+  EXPECT_EQ(net.node().utxo().size(), expected.size());
+  EXPECT_EQ(net.node().utxo().total_value(), expected.total_value());
+}
+
+TEST(Pruned, StorageBoundedByWindow) {
+  const Chain short_chain = make_chain(10);
+  const Chain long_chain = make_chain(40);
+  PrunedConfig cfg;
+  cfg.window = 8;
+
+  PrunedNetwork a(cfg), b(cfg);
+  a.preload_chain(short_chain);
+  b.preload_chain(long_chain);
+  // Body bytes stay windowed; headers and snapshot grow slowly.
+  EXPECT_EQ(a.node().store().block_count(), 8u);
+  EXPECT_EQ(b.node().store().block_count(), 8u);
+  EXPECT_LT(static_cast<double>(b.per_node_bytes()),
+            static_cast<double>(long_chain.total_bytes()) * 0.8)
+      << "pruned node must store far less than the chain";
+}
+
+TEST(Pruned, HistoricalAvailabilityDecaysWithChainGrowth) {
+  PrunedConfig cfg;
+  cfg.window = 10;
+  const Chain chain = make_chain(40);
+  PrunedNetwork net(cfg);
+  net.preload_chain(chain);
+  // Only window/chain blocks remain servable anywhere.
+  EXPECT_NEAR(net.historical_availability(chain), 10.0 / 41.0, 1e-9);
+}
+
+TEST(Pruned, WindowLargerThanChainKeepsEverything) {
+  PrunedConfig cfg;
+  cfg.window = 100;
+  const Chain chain = make_chain(10);
+  PrunedNetwork net(cfg);
+  net.preload_chain(chain);
+  EXPECT_DOUBLE_EQ(net.historical_availability(chain), 1.0);
+  EXPECT_EQ(net.node().store().block_count(), chain.size());
+}
+
+TEST(Pruned, BootstrapBytesBelowFullChain) {
+  PrunedConfig cfg;
+  cfg.window = 10;
+  const Chain chain = make_chain(40);
+  PrunedNetwork net(cfg);
+  net.preload_chain(chain);
+  EXPECT_LT(net.bootstrap_bytes(), chain.total_bytes());
+  EXPECT_GT(net.bootstrap_bytes(), 0u);
+}
+
+TEST(Pruned, TotalScalesWithNodeCount) {
+  PrunedConfig cfg;
+  cfg.window = 5;
+  cfg.node_count = 7;
+  const Chain chain = make_chain(12);
+  PrunedNetwork net(cfg);
+  net.preload_chain(chain);
+  EXPECT_EQ(net.total_bytes(), net.per_node_bytes() * 7);
+}
+
+}  // namespace
+}  // namespace ici::baseline

@@ -1,0 +1,99 @@
+#include "chain/block.h"
+
+#include <gtest/gtest.h>
+
+namespace ici {
+namespace {
+
+std::vector<Transaction> sample_txs(std::size_t n) {
+  std::vector<Transaction> txs;
+  txs.push_back(Transaction::coinbase(KeyPair::from_seed(0).pub, 100, 1));
+  for (std::size_t i = 1; i < n; ++i) {
+    const KeyPair owner = KeyPair::from_seed(i);
+    Transaction tx({TxInput{OutPoint{Hash256::of({}), static_cast<std::uint32_t>(i)}, {}, {}}},
+                   {TxOutput{10, owner.pub}}, i);
+    tx.sign_all_inputs(owner);
+    txs.push_back(std::move(tx));
+  }
+  return txs;
+}
+
+TEST(BlockHeader, SerializeRoundTrip) {
+  BlockHeader h;
+  h.version = 3;
+  h.parent = Hash256::of({});
+  h.merkle_root = Hash256::tagged("x", {});
+  h.height = 42;
+  h.timestamp_us = 123456789;
+  h.nonce = 7;
+  const Bytes enc = h.serialize();
+  EXPECT_EQ(enc.size(), BlockHeader::kWireSize);
+  const BlockHeader back = BlockHeader::deserialize(ByteSpan(enc.data(), enc.size()));
+  EXPECT_EQ(back.version, 3u);
+  EXPECT_EQ(back.parent, h.parent);
+  EXPECT_EQ(back.merkle_root, h.merkle_root);
+  EXPECT_EQ(back.height, 42u);
+  EXPECT_EQ(back.timestamp_us, 123456789u);
+  EXPECT_EQ(back.nonce, 7u);
+  EXPECT_EQ(back.hash(), h.hash());
+}
+
+TEST(Block, AssembleComputesMerkleRoot) {
+  const Block b = Block::assemble(Hash256::of({}), 1, 1000, sample_txs(5));
+  EXPECT_TRUE(b.merkle_ok());
+  EXPECT_EQ(b.header().height, 1u);
+  EXPECT_EQ(b.txs().size(), 5u);
+}
+
+TEST(Block, EmptyBlockHasZeroMerkleRoot) {
+  const Block b = Block::assemble(Hash256{}, 0, 0, {});
+  EXPECT_TRUE(b.header().merkle_root.is_zero());
+  EXPECT_TRUE(b.merkle_ok());
+}
+
+TEST(Block, MerkleDetectsTamperedBody) {
+  Block b = Block::assemble(Hash256::of({}), 1, 0, sample_txs(4));
+  // Rebuild with a different body under the same header.
+  Block tampered(b.header(), sample_txs(3));
+  EXPECT_FALSE(tampered.merkle_ok());
+}
+
+TEST(Block, SerializeRoundTrip) {
+  const Block b = Block::assemble(Hash256::of({}), 2, 99, sample_txs(7));
+  const Bytes enc = b.serialize();
+  const Block back = Block::deserialize(ByteSpan(enc.data(), enc.size()));
+  EXPECT_EQ(back.hash(), b.hash());
+  EXPECT_EQ(back.txs().size(), 7u);
+  EXPECT_TRUE(back.merkle_ok());
+}
+
+TEST(Block, SerializedSizeMatchesEncoding) {
+  for (std::size_t n : {1u, 2u, 10u}) {
+    const Block b = Block::assemble(Hash256::of({}), 1, 0, sample_txs(n));
+    EXPECT_EQ(b.serialized_size(), b.serialize().size()) << n;
+  }
+}
+
+TEST(Block, DeserializeRejectsTrailingBytes) {
+  Bytes enc = Block::assemble(Hash256::of({}), 1, 0, sample_txs(2)).serialize();
+  enc.push_back(1);
+  EXPECT_THROW(Block::deserialize(ByteSpan(enc.data(), enc.size())), DecodeError);
+}
+
+TEST(Block, TxidsInBlockOrder) {
+  const Block b = Block::assemble(Hash256::of({}), 1, 0, sample_txs(4));
+  const auto ids = b.txids();
+  ASSERT_EQ(ids.size(), 4u);
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], b.txs()[i].txid());
+}
+
+TEST(Block, HashDependsOnParent) {
+  const auto txs = sample_txs(2);
+  const Block a = Block::assemble(Hash256::of({}), 1, 0, txs);
+  const Bytes other = {1};
+  const Block b = Block::assemble(Hash256::of(ByteSpan(other.data(), other.size())), 1, 0, txs);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace ici

@@ -1,0 +1,124 @@
+#include "storage/block_store.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/workload.h"
+#include "storage/storage_meter.h"
+
+namespace ici {
+namespace {
+
+Chain small_chain(std::size_t blocks = 5) {
+  ChainGenConfig cfg;
+  cfg.blocks = blocks;
+  cfg.txs_per_block = 3;
+  return ChainGenerator(cfg).generate();
+}
+
+TEST(BlockStore, HeaderOnlyStorage) {
+  const Chain chain = small_chain();
+  BlockStore store;
+  for (const Block& b : chain.blocks()) store.put_header(b.header());
+  EXPECT_EQ(store.header_count(), chain.size());
+  EXPECT_EQ(store.block_count(), 0u);
+  EXPECT_EQ(store.body_bytes(), 0u);
+  EXPECT_EQ(store.header_bytes(), chain.size() * BlockHeader::kWireSize);
+
+  const auto h2 = store.header_at(2);
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(h2->hash(), chain.at_height(2).hash());
+  EXPECT_TRUE(store.header_by_hash(chain.at_height(1).hash()).has_value());
+  EXPECT_FALSE(store.header_at(99).has_value());
+}
+
+TEST(BlockStore, PutBlockStoresBodyAndHeader) {
+  const Chain chain = small_chain();
+  BlockStore store;
+  store.put_block(chain.at_height(1));
+  EXPECT_TRUE(store.has_block(chain.at_height(1).hash()));
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.header_count(), 1u);
+  EXPECT_EQ(store.body_bytes(), chain.at_height(1).serialized_size());
+  ASSERT_NE(store.block_at(1), nullptr);
+  EXPECT_EQ(store.block_at(1)->hash(), chain.at_height(1).hash());
+}
+
+TEST(BlockStore, PutBlockIdempotent) {
+  const Chain chain = small_chain();
+  BlockStore store;
+  store.put_block(chain.at_height(1));
+  store.put_block(chain.at_height(1));
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.body_bytes(), chain.at_height(1).serialized_size());
+}
+
+TEST(BlockStore, PruneFreesBytes) {
+  const Chain chain = small_chain();
+  BlockStore store;
+  store.put_block(chain.at_height(1));
+  store.put_block(chain.at_height(2));
+  const std::uint64_t freed = store.prune_block(chain.at_height(1).hash());
+  EXPECT_EQ(freed, chain.at_height(1).serialized_size());
+  EXPECT_FALSE(store.has_block(chain.at_height(1).hash()));
+  // Header survives pruning.
+  EXPECT_TRUE(store.header_by_hash(chain.at_height(1).hash()).has_value());
+  EXPECT_EQ(store.body_bytes(), chain.at_height(2).serialized_size());
+}
+
+TEST(BlockStore, PruneMissingReturnsZero) {
+  BlockStore store;
+  EXPECT_EQ(store.prune_block(Hash256{}), 0u);
+}
+
+TEST(BlockStore, SharedPtrStorageSharesObject) {
+  const Chain chain = small_chain();
+  auto shared = std::make_shared<const Block>(chain.at_height(1));
+  BlockStore a, b;
+  a.put_block(shared);
+  b.put_block(shared, shared->hash());
+  EXPECT_EQ(a.block_ptr(shared->hash()).get(), b.block_ptr(shared->hash()).get());
+  // Both stores still account for the full bytes independently.
+  EXPECT_EQ(a.body_bytes(), b.body_bytes());
+}
+
+TEST(BlockStore, StoredHashesComplete) {
+  const Chain chain = small_chain();
+  BlockStore store;
+  store.put_block(chain.at_height(1));
+  store.put_block(chain.at_height(3));
+  const auto hashes = store.stored_hashes();
+  EXPECT_EQ(hashes.size(), 2u);
+  for (const Hash256& h : hashes) EXPECT_TRUE(store.has_block(h));
+}
+
+TEST(BlockStore, TotalBytesIsBodiesPlusHeaders) {
+  const Chain chain = small_chain();
+  BlockStore store;
+  for (const Block& b : chain.blocks()) store.put_header(b.header());
+  store.put_block(chain.at_height(1));
+  EXPECT_EQ(store.total_bytes(), store.body_bytes() + store.header_bytes());
+}
+
+TEST(StorageMeter, SnapshotAggregates) {
+  const Chain chain = small_chain();
+  BlockStore a, b;
+  a.put_block(chain.at_height(1));
+  b.put_block(chain.at_height(1));
+  b.put_block(chain.at_height(2));
+
+  const StorageSnapshot snap = StorageMeter::snapshot({&a, &b});
+  EXPECT_EQ(snap.node_count, 2u);
+  EXPECT_EQ(snap.total_bytes, a.total_bytes() + b.total_bytes());
+  EXPECT_EQ(snap.max_bytes, static_cast<double>(b.total_bytes()));
+  EXPECT_EQ(snap.min_bytes, static_cast<double>(a.total_bytes()));
+  EXPECT_GT(snap.cv, 0.0);
+}
+
+TEST(StorageMeter, EmptySnapshot) {
+  const StorageSnapshot snap = StorageMeter::snapshot({});
+  EXPECT_EQ(snap.node_count, 0u);
+  EXPECT_EQ(snap.total_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ici

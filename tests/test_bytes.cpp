@@ -1,0 +1,107 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+
+namespace ici {
+namespace {
+
+TEST(ByteWriter, WritesLittleEndianIntegers) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  EXPECT_EQ(to_hex(ByteSpan(w.bytes().data(), w.bytes().size())),
+            "ab"
+            "3412"
+            "efbeadde"
+            "0807060504030201");
+}
+
+TEST(ByteWriter, BlobPrefixesLength) {
+  ByteWriter w;
+  const Bytes payload = {1, 2, 3};
+  w.blob(payload);
+  EXPECT_EQ(w.size(), 4u + 3u);
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  EXPECT_EQ(r.blob(), payload);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteWriter, StrRoundTrips) {
+  ByteWriter w;
+  w.str("hello");
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  EXPECT_EQ(r.str(), "hello");
+}
+
+TEST(ByteReader, RoundTripsAllTypes) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0);
+  w.u64(UINT64_MAX);
+  w.raw(Bytes{9, 9});
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u64(), UINT64_MAX);
+  EXPECT_EQ(r.raw(2), (Bytes{9, 9}));
+  r.expect_done("test");
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  const Bytes short_buf = {1, 2};
+  ByteReader r(ByteSpan(short_buf.data(), short_buf.size()));
+  EXPECT_THROW((void)r.u32(), DecodeError);
+}
+
+TEST(ByteReader, ThrowsOnOversizedBlobLength) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  EXPECT_THROW((void)r.blob(), DecodeError);
+}
+
+TEST(ByteReader, ExpectDoneThrowsOnTrailingBytes) {
+  const Bytes buf = {1, 2, 3};
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done("trailing"), DecodeError);
+}
+
+TEST(ByteReader, RemainingTracksPosition) {
+  const Bytes buf = {1, 2, 3, 4};
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Hex, RoundTrips) {
+  const Bytes data = {0x00, 0xff, 0x10, 0xab};
+  EXPECT_EQ(to_hex(ByteSpan(data.data(), data.size())), "00ff10ab");
+  EXPECT_EQ(from_hex("00ff10ab"), data);
+  EXPECT_EQ(from_hex("00FF10AB"), data);  // case-insensitive
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), DecodeError);   // odd length
+  EXPECT_THROW(from_hex("zz"), DecodeError);    // non-hex
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Ensure, ThrowsLogicErrorWithMessage) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(ensure(false, "broken"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ici

@@ -1,0 +1,123 @@
+#include "cluster/clusterer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+namespace ici::cluster {
+namespace {
+
+std::unique_ptr<Clusterer> make(const std::string& name) {
+  if (name == "kmeans") return std::make_unique<KMeansClusterer>(1);
+  if (name == "random") return std::make_unique<RandomClusterer>(1);
+  return std::make_unique<GridClusterer>();
+}
+
+struct Case {
+  std::string clusterer;
+  std::size_t n;
+  std::size_t k;
+};
+
+class PartitionValidity : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PartitionValidity, EveryNodeExactlyOnceNoEmptyClusters) {
+  const Case c = GetParam();
+  const auto nodes = generate_topology(c.n, 5, 42);
+  const Clustering clustering = make(c.clusterer)->cluster(nodes, c.k);
+
+  EXPECT_EQ(clustering.cluster_count(), c.k);
+  std::unordered_set<NodeId> seen;
+  for (const auto& members : clustering.clusters) {
+    EXPECT_FALSE(members.empty());
+    for (NodeId id : members) {
+      EXPECT_TRUE(seen.insert(id).second) << "node " << id << " in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), c.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClusterers, PartitionValidity,
+    ::testing::Values(Case{"kmeans", 64, 4}, Case{"kmeans", 100, 10}, Case{"kmeans", 30, 30},
+                      Case{"kmeans", 17, 3}, Case{"random", 64, 4}, Case{"random", 100, 10},
+                      Case{"random", 5, 5}, Case{"grid", 64, 4}, Case{"grid", 100, 9},
+                      Case{"grid", 40, 7}),
+    [](const auto& info) {
+      return info.param.clusterer + "_n" + std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+TEST(Clusterer, RejectsBadK) {
+  const auto nodes = generate_topology(10, 2, 1);
+  EXPECT_THROW(KMeansClusterer().cluster(nodes, 0), std::invalid_argument);
+  EXPECT_THROW(RandomClusterer().cluster(nodes, 11), std::invalid_argument);
+}
+
+TEST(Clusterer, RandomSizesDifferByAtMostOne) {
+  const auto nodes = generate_topology(103, 5, 7);
+  const Clustering c = RandomClusterer(3).cluster(nodes, 10);
+  EXPECT_LE(c.largest() - c.smallest(), 1u);
+}
+
+TEST(Clusterer, KMeansBalancedAvoidsTinyClusters) {
+  const auto nodes = generate_topology(128, 4, 11);
+  const Clustering c = KMeansClusterer(1, /*balance_sizes=*/true).cluster(nodes, 8);
+  // Balancing guarantees every cluster has at least floor(target/2) members.
+  EXPECT_GE(c.smallest(), 8u);
+}
+
+TEST(Clusterer, KMeansBeatsRandomOnIntraClusterDistance) {
+  const auto nodes = generate_topology(200, 6, 13);
+  const double km = mean_intra_cluster_distance(nodes, KMeansClusterer(1).cluster(nodes, 8));
+  const double rnd = mean_intra_cluster_distance(nodes, RandomClusterer(1).cluster(nodes, 8));
+  EXPECT_LT(km, rnd * 0.8) << "k-means should substantially tighten clusters";
+}
+
+TEST(Clusterer, MembersAreSorted) {
+  const auto nodes = generate_topology(50, 3, 17);
+  for (const auto& members : KMeansClusterer(1).cluster(nodes, 5).clusters) {
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+  }
+}
+
+TEST(Clusterer, NamesAreStable) {
+  EXPECT_EQ(KMeansClusterer().name(), "kmeans");
+  EXPECT_EQ(RandomClusterer().name(), "random");
+  EXPECT_EQ(GridClusterer().name(), "grid");
+}
+
+TEST(Topology, GeneratorIsDeterministicAndInBounds) {
+  const auto a = generate_topology(64, 5, 99);
+  const auto b = generate_topology(64, 5, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].coord.x, b[i].coord.x);
+    EXPECT_GE(a[i].coord.x, 0.0);
+    EXPECT_LE(a[i].coord.x, 100.0);
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].capacity, 1.0);
+  }
+}
+
+TEST(Topology, HeterogeneousCapacityVaries) {
+  const auto nodes = generate_topology(100, 5, 21, 100.0, /*heterogeneous=*/true);
+  double mn = 100, mx = 0;
+  for (const auto& n : nodes) {
+    mn = std::min(mn, n.capacity);
+    mx = std::max(mx, n.capacity);
+    EXPECT_GE(n.capacity, 0.25);
+    EXPECT_LE(n.capacity, 4.0);
+  }
+  EXPECT_LT(mn, mx);
+}
+
+TEST(Clustering, SmallestLargestOnEmpty) {
+  Clustering c;
+  EXPECT_EQ(c.smallest(), 0u);
+  EXPECT_EQ(c.largest(), 0u);
+}
+
+}  // namespace
+}  // namespace ici::cluster

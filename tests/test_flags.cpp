@@ -1,0 +1,125 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ici {
+namespace {
+
+struct Bound {
+  std::uint64_t nodes = 10;
+  double fraction = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+};
+
+FlagParser make_parser(Bound& b) {
+  FlagParser p("test", "test parser");
+  p.add_uint("nodes", &b.nodes, "node count");
+  p.add_double("fraction", &b.fraction, "a fraction");
+  p.add_string("name", &b.name, "a name");
+  p.add_bool("verbose", &b.verbose, "chatty");
+  return p;
+}
+
+bool run(FlagParser& p, std::vector<const char*> args, std::string* err = nullptr) {
+  args.insert(args.begin(), "prog");
+  return p.parse(static_cast<int>(args.size()), args.data(), err);
+}
+
+TEST(Flags, DefaultsSurviveEmptyArgs) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  EXPECT_TRUE(run(p, {}));
+  EXPECT_EQ(b.nodes, 10u);
+  EXPECT_EQ(b.name, "default");
+  EXPECT_FALSE(b.verbose);
+}
+
+TEST(Flags, EqualsForm) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  EXPECT_TRUE(run(p, {"--nodes=42", "--fraction=0.25", "--name=x", "--verbose=true"}));
+  EXPECT_EQ(b.nodes, 42u);
+  EXPECT_DOUBLE_EQ(b.fraction, 0.25);
+  EXPECT_EQ(b.name, "x");
+  EXPECT_TRUE(b.verbose);
+}
+
+TEST(Flags, SpaceForm) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  EXPECT_TRUE(run(p, {"--nodes", "7", "--name", "hello"}));
+  EXPECT_EQ(b.nodes, 7u);
+  EXPECT_EQ(b.name, "hello");
+}
+
+TEST(Flags, BareBoolSetsTrue) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  EXPECT_TRUE(run(p, {"--verbose"}));
+  EXPECT_TRUE(b.verbose);
+}
+
+TEST(Flags, BoolFalseForm) {
+  Bound b;
+  b.verbose = true;
+  FlagParser p("t", "t");
+  p.add_bool("verbose", &b.verbose, "chatty");
+  std::vector<const char*> args = {"prog", "--verbose=false"};
+  EXPECT_TRUE(p.parse(2, args.data(), nullptr));
+  EXPECT_FALSE(b.verbose);
+}
+
+TEST(Flags, UnknownFlagFails) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  std::string err;
+  EXPECT_FALSE(run(p, {"--bogus=1"}, &err));
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+}
+
+TEST(Flags, BadValueFails) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  std::string err;
+  EXPECT_FALSE(run(p, {"--nodes=abc"}, &err));
+  EXPECT_NE(err.find("bad value"), std::string::npos);
+  EXPECT_FALSE(run(p, {"--fraction=xyz"}, &err));
+  EXPECT_FALSE(run(p, {"--verbose=maybe"}, &err));
+}
+
+TEST(Flags, MissingValueFails) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  std::string err;
+  EXPECT_FALSE(run(p, {"--nodes"}, &err));
+  EXPECT_NE(err.find("needs a value"), std::string::npos);
+}
+
+TEST(Flags, PositionalArgumentFails) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  std::string err;
+  EXPECT_FALSE(run(p, {"stray"}, &err));
+  EXPECT_NE(err.find("positional"), std::string::npos);
+}
+
+TEST(Flags, HelpReturnsFalseWithEmptyError) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  std::string err = "sentinel";
+  EXPECT_FALSE(run(p, {"--help"}, &err));
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(Flags, UsageListsFlagsAndDefaults) {
+  Bound b;
+  FlagParser p = make_parser(b);
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+  EXPECT_NE(usage.find("node count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ici

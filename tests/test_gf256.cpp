@@ -1,0 +1,108 @@
+#include "erasure/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ici::erasure {
+namespace {
+
+TEST(GF256, AddIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(GF256::add(7, 7), 0);
+}
+
+TEST(GF256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(GF256::mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(GF256, KnownProduct) {
+  // 0x53 * 0xca = 0x01 in GF(2^8) with 0x11d... verify via inverse instead:
+  // known AES-poly examples don't apply; check multiplicative inverse law.
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = GF256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(GF256, MulCommutativeAssociative) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+    EXPECT_EQ(GF256::mul(GF256::mul(a, b), c), GF256::mul(a, GF256::mul(b, c)));
+  }
+}
+
+TEST(GF256, Distributive) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+              GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+  }
+}
+
+TEST(GF256, DivInvertsMul) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.range(1, 255));
+    EXPECT_EQ(GF256::div(GF256::mul(a, b), b), a);
+  }
+}
+
+TEST(GF256, DivByZeroThrows) {
+  EXPECT_THROW((void)GF256::div(1, 0), std::domain_error);
+  EXPECT_THROW((void)GF256::inv(0), std::domain_error);
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  for (std::uint8_t a : {2, 3, 7, 0x1d, 0xff}) {
+    std::uint8_t acc = 1;
+    for (std::uint32_t n = 0; n < 20; ++n) {
+      EXPECT_EQ(GF256::pow(a, n), acc) << static_cast<int>(a) << "^" << n;
+      acc = GF256::mul(acc, a);
+    }
+  }
+  EXPECT_EQ(GF256::pow(0, 0), 1);
+  EXPECT_EQ(GF256::pow(0, 5), 0);
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // 2 generates the multiplicative group: exp(n) cycles through all 255
+  // non-zero elements.
+  std::vector<bool> seen(256, false);
+  for (std::uint32_t n = 0; n < 255; ++n) {
+    const std::uint8_t v = GF256::exp(n);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "repeat at n=" << n;
+    seen[v] = true;
+  }
+}
+
+TEST(GF256, MulAddRow) {
+  Bytes dst = {1, 2, 3, 4};
+  const Bytes src = {5, 6, 7, 8};
+  GF256::mul_add_row(dst.data(), src.data(), 4, 0);
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));  // c=0 is a no-op
+  GF256::mul_add_row(dst.data(), src.data(), 4, 1);
+  EXPECT_EQ(dst, (Bytes{1 ^ 5, 2 ^ 6, 3 ^ 7, 4 ^ 8}));  // c=1 is XOR
+
+  Bytes dst2 = {0, 0};
+  const Bytes src2 = {9, 17};
+  GF256::mul_add_row(dst2.data(), src2.data(), 2, 3);
+  EXPECT_EQ(dst2[0], GF256::mul(9, 3));
+  EXPECT_EQ(dst2[1], GF256::mul(17, 3));
+}
+
+}  // namespace
+}  // namespace ici::erasure

@@ -1,0 +1,74 @@
+#include "crypto/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ici {
+namespace {
+
+TEST(Hash256, DefaultIsZero) {
+  Hash256 h;
+  EXPECT_TRUE(h.is_zero());
+  EXPECT_EQ(h.low64(), 0u);
+}
+
+TEST(Hash256, OfIsNotZero) {
+  const Bytes data = {1, 2, 3};
+  EXPECT_FALSE(Hash256::of(ByteSpan(data.data(), data.size())).is_zero());
+}
+
+TEST(Hash256, HexRoundTrip) {
+  const Bytes data = {42};
+  const Hash256 h = Hash256::of(ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(Hash256::from_hex(h.hex()), h);
+  EXPECT_EQ(h.hex().size(), 64u);
+  EXPECT_EQ(h.short_hex(), h.hex().substr(0, 8));
+}
+
+TEST(Hash256, FromHexRejectsWrongLength) {
+  EXPECT_THROW((void)Hash256::from_hex("abcd"), DecodeError);
+}
+
+TEST(Hash256, TaggedSeparatesDomains) {
+  const Bytes data = {9, 9, 9};
+  const ByteSpan span(data.data(), data.size());
+  EXPECT_NE(Hash256::tagged("a", span), Hash256::tagged("b", span));
+  EXPECT_NE(Hash256::tagged("a", span), Hash256::of(span));
+}
+
+TEST(Hash256, TaggedIsDeterministic) {
+  const Bytes data = {1};
+  const ByteSpan span(data.data(), data.size());
+  EXPECT_EQ(Hash256::tagged("t", span), Hash256::tagged("t", span));
+}
+
+TEST(Hash256, OrderingIsTotal) {
+  const Bytes a = {1}, b = {2};
+  const Hash256 ha = Hash256::of(ByteSpan(a.data(), a.size()));
+  const Hash256 hb = Hash256::of(ByteSpan(b.data(), b.size()));
+  EXPECT_TRUE((ha < hb) != (hb < ha));
+  EXPECT_TRUE(ha == ha);
+}
+
+TEST(Hash256, HasherDistributes) {
+  std::unordered_set<std::size_t> buckets;
+  Hash256Hasher hasher;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ByteWriter w;
+    w.u64(i);
+    buckets.insert(hasher(Hash256::of(ByteSpan(w.bytes().data(), w.bytes().size()))));
+  }
+  EXPECT_EQ(buckets.size(), 100u);  // no collisions at this tiny scale
+}
+
+TEST(Hash256, Low64MatchesFirstEightBytes) {
+  const Bytes data = {5};
+  const Hash256 h = Hash256::of(ByteSpan(data.data(), data.size()));
+  std::uint64_t manual = 0;
+  for (int i = 0; i < 8; ++i) manual |= static_cast<std::uint64_t>(h.bytes()[i]) << (8 * i);
+  EXPECT_EQ(h.low64(), manual);
+}
+
+}  // namespace
+}  // namespace ici

@@ -1,0 +1,53 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+
+namespace ici {
+namespace {
+
+std::string hmac_hex(const Bytes& key, const Bytes& msg) {
+  const Digest256 d = hmac_sha256(ByteSpan(key.data(), key.size()),
+                                  ByteSpan(msg.data(), msg.size()));
+  return to_hex(ByteSpan(d.data(), d.size()));
+}
+
+Bytes str_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// RFC 4231 test cases.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_hex(key, str_bytes("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hmac_hex(str_bytes("Jefe"), str_bytes("what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(hmac_hex(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);  // key longer than block size: hashed first
+  EXPECT_EQ(hmac_hex(key, str_bytes("Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  EXPECT_NE(hmac_hex(str_bytes("k1"), str_bytes("m")),
+            hmac_hex(str_bytes("k2"), str_bytes("m")));
+}
+
+TEST(Hmac, EmptyInputsWork) {
+  EXPECT_EQ(hmac_hex({}, {}).size(), 64u);
+}
+
+}  // namespace
+}  // namespace ici

@@ -1,0 +1,187 @@
+// Edge cases of the ICI protocol machinery: degenerate clusters, offline
+// heads, duplicate deliveries, late votes, invalid proposals.
+#include <gtest/gtest.h>
+
+#include "chain/workload.h"
+#include "ici/network.h"
+
+namespace ici::core {
+namespace {
+
+struct Rig {
+  explicit Rig(std::size_t nodes = 16, std::size_t clusters = 2,
+               std::size_t txs_per_block = 6) {
+    ChainGenConfig ccfg;
+    ccfg.txs_per_block = txs_per_block;
+    gen = std::make_unique<ChainGenerator>(ccfg);
+    IciNetworkConfig ncfg;
+    ncfg.node_count = nodes;
+    ncfg.ici.cluster_count = clusters;
+    net = std::make_unique<IciNetwork>(ncfg);
+    Block genesis = gen->workload().make_genesis();
+    gen->workload().confirm(genesis);
+    chain = std::make_unique<Chain>(genesis);
+    net->init_with_genesis(genesis);
+  }
+  Block next() {
+    chain->append(gen->next_block(*chain));
+    return chain->tip();
+  }
+  std::unique_ptr<ChainGenerator> gen;
+  std::unique_ptr<IciNetwork> net;
+  std::unique_ptr<Chain> chain;
+};
+
+TEST(EdgeCases, SingleClusterNetworkWorks) {
+  Rig rig(8, 1);
+  rig.next();
+  EXPECT_GT(rig.net->disseminate_and_settle(rig.chain->tip()), 0u);
+  EXPECT_EQ(rig.net->metrics().counter_value("commit.count"), 1u);
+}
+
+TEST(EdgeCases, ClusterOfOneCommitsAlone) {
+  // k == N: every cluster has exactly one member who is head, verifier,
+  // and storer simultaneously.
+  Rig rig(4, 4);
+  rig.next();
+  EXPECT_GT(rig.net->disseminate_and_settle(rig.chain->tip()), 0u);
+  EXPECT_EQ(rig.net->metrics().counter_value("commit.count"), 4u);
+}
+
+TEST(EdgeCases, CoinbaseOnlyBlockCommits) {
+  // Fewer txs than members: most slices are empty; everyone still votes.
+  Rig rig(16, 2, /*txs_per_block=*/0);
+  rig.next();
+  EXPECT_GT(rig.net->disseminate_and_settle(rig.chain->tip()), 0u);
+  EXPECT_EQ(rig.net->metrics().counter_value("verify.slice_rejected"), 0u);
+}
+
+TEST(EdgeCases, DarkClusterIsSkippedAtProposal) {
+  Rig rig(16, 2);
+  // Take all of cluster 1 offline.
+  for (auto id : rig.net->directory().members(1)) {
+    rig.net->network().set_online(id, false);
+    rig.net->directory().set_online(id, false);
+  }
+  rig.next();
+  // Full commit never happens (cluster 1 can't commit), but cluster 0 does.
+  EXPECT_EQ(rig.net->disseminate_and_settle(rig.chain->tip()), 0u);
+  EXPECT_EQ(rig.net->metrics().counter_value("commit.count"), 1u);
+  EXPECT_EQ(rig.net->metrics().counter_value("propose.headless_cluster"), 1u);
+}
+
+TEST(EdgeCases, DuplicateProposalIsIdempotent) {
+  Rig rig;
+  const Block block = rig.next();
+  EXPECT_GT(rig.net->disseminate_and_settle(block), 0u);
+  const auto commits = rig.net->metrics().counter_value("commit.count");
+  // Proposing the same block again: heads ignore it (already stored or in
+  // flight) and no double-commit happens.
+  rig.net->disseminate(block);
+  rig.net->settle();
+  EXPECT_EQ(rig.net->metrics().counter_value("commit.count"), commits);
+}
+
+TEST(EdgeCases, TamperedBlockRejectedByHead) {
+  Rig rig;
+  Block good = rig.next();
+  // Same header, body with a swapped tx order → Merkle mismatch.
+  std::vector<Transaction> txs = good.txs();
+  std::swap(txs[1], txs[2]);
+  const Block bad(good.header(), std::move(txs));
+  EXPECT_EQ(rig.net->disseminate_and_settle(bad), 0u);
+  EXPECT_GT(rig.net->metrics().counter_value("verify.head_rejected"), 0u);
+  EXPECT_EQ(rig.net->metrics().counter_value("commit.count"), 0u);
+}
+
+TEST(EdgeCases, DoubleSpendBlockRejectedByHead) {
+  Rig rig;
+  const Block good = rig.next();
+  // Duplicate a non-coinbase tx: duplicate outpoints across the block.
+  std::vector<Transaction> txs = good.txs();
+  txs.push_back(txs[1]);
+  const Block bad = Block::assemble(good.header().parent, good.header().height,
+                                    good.header().timestamp_us, std::move(txs));
+  EXPECT_EQ(rig.net->disseminate_and_settle(bad), 0u);
+  EXPECT_GT(rig.net->metrics().counter_value("verify.head_rejected"), 0u);
+}
+
+TEST(EdgeCases, SpendOfUnknownOutpointRejectedByMembers) {
+  Rig rig;
+  Block good = rig.next();
+  // Append a tx spending an outpoint that does not exist.
+  std::vector<Transaction> txs = good.txs();
+  const KeyPair key = KeyPair::from_seed(999);
+  Transaction phantom({TxInput{OutPoint{Hash256::tagged("ghost", {}), 0}, {}, {}}},
+                      {TxOutput{5, key.pub}}, 77);
+  phantom.sign_all_inputs(key);
+  txs.push_back(std::move(phantom));
+  const Block bad = Block::assemble(good.header().parent, good.header().height,
+                                    good.header().timestamp_us, std::move(txs));
+  EXPECT_EQ(rig.net->disseminate_and_settle(bad), 0u);
+  EXPECT_GT(rig.net->metrics().counter_value("verify.slice_rejected"), 0u);
+  EXPECT_EQ(rig.net->metrics().counter_value("commit.count"), 0u);
+}
+
+TEST(EdgeCases, AllVotesCountedNoneLate) {
+  // The head waits for every online member's vote before committing (a
+  // pending vote may carry a fraud challenge), so in a healthy cluster no
+  // vote arrives after the decision.
+  Rig rig(24, 1, 12);
+  rig.next();
+  ASSERT_GT(rig.net->disseminate_and_settle(rig.chain->tip()), 0u);
+  EXPECT_EQ(rig.net->metrics().counter_value("verify.slice_approved"), 24u);
+  EXPECT_EQ(rig.net->metrics().counter_value("verify.late_votes"), 0u);
+}
+
+TEST(EdgeCases, FetchUnknownBlockMissesCleanly) {
+  Rig rig;
+  rig.next();
+  ASSERT_GT(rig.net->disseminate_and_settle(rig.chain->tip()), 0u);
+  bool called = false;
+  rig.net->node(0).fetch_block(Hash256::tagged("never", {}), 99,
+                               [&](std::shared_ptr<const Block> b, sim::SimTime) {
+                                 called = true;
+                                 EXPECT_EQ(b, nullptr);
+                               });
+  rig.net->settle();
+  EXPECT_TRUE(called);
+  EXPECT_GT(rig.net->metrics().counter_value("retrieval.misses"), 0u);
+}
+
+TEST(EdgeCases, OfflineProposerIsSkipped) {
+  Rig rig;
+  // Knock out node 0 (the first rotating proposer).
+  rig.net->network().set_online(0, false);
+  rig.net->directory().set_online(0, false);
+  rig.next();
+  EXPECT_GT(rig.net->disseminate_and_settle(rig.chain->tip()), 0u);
+}
+
+TEST(EdgeCases, ReplicationLargerThanClusterClamps) {
+  Rig rig_big_r(8, 2);
+  IciNetworkConfig cfg;
+  cfg.node_count = 8;
+  cfg.ici.cluster_count = 2;
+  cfg.ici.replication = 100;  // > cluster size 4
+  ChainGenConfig ccfg;
+  ccfg.txs_per_block = 4;
+  ChainGenerator gen(ccfg);
+  IciNetwork net(cfg);
+  Block genesis = gen.workload().make_genesis();
+  gen.workload().confirm(genesis);
+  Chain chain(genesis);
+  net.init_with_genesis(genesis);
+  chain.append(gen.next_block(chain));
+  EXPECT_GT(net.disseminate_and_settle(chain.tip()), 0u);
+  // Every member of every cluster ends up a storer (full replication within
+  // the cluster) — no crash, no over-count.
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (auto id : net.directory().members(c)) {
+      EXPECT_TRUE(net.node(id).store().has_block(chain.tip().hash()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ici::core

@@ -1,0 +1,140 @@
+// Cross-cluster retrieval fallback: when a block's own-cluster holders are
+// unreachable, the fetch widens to sibling clusters — the network keeps one
+// copy (or shard set) per cluster, so cluster-local outages become latency
+// instead of misses.
+#include <gtest/gtest.h>
+
+#include "chain/workload.h"
+#include "ici/network.h"
+
+namespace ici::core {
+namespace {
+
+struct Rig {
+  explicit Rig(bool fallback, std::size_t data = 0, std::size_t parity = 0) {
+    ChainGenConfig ccfg;
+    ccfg.txs_per_block = 8;
+    gen = std::make_unique<ChainGenerator>(ccfg);
+    IciNetworkConfig ncfg;
+    ncfg.node_count = 24;
+    ncfg.ici.cluster_count = 3;
+    ncfg.ici.cross_cluster_fallback = fallback;
+    ncfg.ici.erasure_data = data;
+    ncfg.ici.erasure_parity = parity;
+    net = std::make_unique<IciNetwork>(ncfg);
+    Block genesis = gen->workload().make_genesis();
+    gen->workload().confirm(genesis);
+    chain = std::make_unique<Chain>(genesis);
+    net->init_with_genesis(genesis);
+    for (int i = 0; i < 3; ++i) {
+      chain->append(gen->next_block(*chain));
+      EXPECT_GT(net->disseminate_and_settle(chain->tip()), 0u);
+    }
+  }
+
+  /// Takes every own-cluster holder of (hash, height) in `cluster` offline.
+  void darken_cluster_holders(const Hash256& hash, std::uint64_t height,
+                              std::size_t cluster) {
+    std::vector<cluster::NodeId> holders;
+    if (net->coded()) {
+      holders = net->shard_holders(hash, height, cluster);
+    } else {
+      holders = net->storers_of(hash, height, cluster, false);
+    }
+    for (auto id : holders) {
+      net->network().set_online(id, false);
+      net->directory().set_online(id, false);
+    }
+  }
+
+  std::unique_ptr<ChainGenerator> gen;
+  std::unique_ptr<IciNetwork> net;
+  std::unique_ptr<Chain> chain;
+};
+
+cluster::NodeId pick_online_non_holder(Rig& rig, const Hash256& hash, std::size_t cluster) {
+  for (auto id : rig.net->directory().members(cluster)) {
+    if (rig.net->directory().online(id) && !rig.net->node(id).store().has_block(hash) &&
+        !rig.net->node(id).shards().has_any(hash)) {
+      return id;
+    }
+  }
+  return cluster::kNoNode;
+}
+
+TEST(CrossClusterFallback, ServesBlockWhenOwnClusterDark) {
+  Rig rig(/*fallback=*/true);
+  const Hash256 hash = rig.chain->at_height(2).hash();
+  rig.darken_cluster_holders(hash, 2, 0);
+
+  const auto requester = pick_online_non_holder(rig, hash, 0);
+  ASSERT_NE(requester, cluster::kNoNode);
+  bool got = false;
+  sim::SimTime latency = 0;
+  rig.net->node(requester).fetch_block(hash, 2,
+                                       [&](std::shared_ptr<const Block> b, sim::SimTime t) {
+                                         got = b != nullptr && b->hash() == hash;
+                                         latency = t;
+                                       });
+  rig.net->settle();
+  EXPECT_TRUE(got) << "sibling clusters hold the block";
+  EXPECT_GT(latency, 0u);
+}
+
+TEST(CrossClusterFallback, DisabledFallbackMisses) {
+  Rig rig(/*fallback=*/false);
+  const Hash256 hash = rig.chain->at_height(2).hash();
+  rig.darken_cluster_holders(hash, 2, 0);
+
+  const auto requester = pick_online_non_holder(rig, hash, 0);
+  ASSERT_NE(requester, cluster::kNoNode);
+  bool called = false, got = true;
+  rig.net->node(requester).fetch_block(hash, 2,
+                                       [&](std::shared_ptr<const Block> b, sim::SimTime) {
+                                         called = true;
+                                         got = b != nullptr;
+                                       });
+  rig.net->settle();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got) << "without fallback a dark cluster cannot serve";
+}
+
+TEST(CrossClusterFallback, CodedModeUsesSiblingShards) {
+  // Every cluster encodes the same payload with the same code, so sibling
+  // shards are interchangeable.
+  Rig rig(/*fallback=*/true, /*data=*/3, /*parity=*/1);
+  const Hash256 hash = rig.chain->at_height(1).hash();
+  rig.darken_cluster_holders(hash, 1, 0);
+
+  const auto requester = pick_online_non_holder(rig, hash, 0);
+  ASSERT_NE(requester, cluster::kNoNode);
+  bool got = false;
+  rig.net->node(requester).fetch_block(hash, 1,
+                                       [&](std::shared_ptr<const Block> b, sim::SimTime) {
+                                         got = b != nullptr && b->hash() == hash;
+                                       });
+  rig.net->settle();
+  EXPECT_TRUE(got);
+}
+
+TEST(CrossClusterFallback, NetworkAvailabilityAboveClusterAvailability) {
+  Rig rig(/*fallback=*/true);
+  const Hash256 hash = rig.chain->at_height(2).hash();
+  rig.darken_cluster_holders(hash, 2, 0);
+  EXPECT_LT(rig.net->availability(), 1.0) << "cluster 0 lost local service";
+  EXPECT_DOUBLE_EQ(rig.net->network_availability(), 1.0)
+      << "the network still holds copies in other clusters";
+}
+
+TEST(CrossClusterFallback, NetworkAvailabilityCodedCountsDistinctShards) {
+  Rig rig(/*fallback=*/true, /*data=*/3, /*parity=*/1);
+  EXPECT_DOUBLE_EQ(rig.net->network_availability(), 1.0);
+  // Knock a whole cluster's holders for one block offline: still decodable
+  // network-wide.
+  const Hash256 hash = rig.chain->at_height(1).hash();
+  rig.darken_cluster_holders(hash, 1, 0);
+  EXPECT_DOUBLE_EQ(rig.net->network_availability(), 1.0);
+}
+
+}  // namespace
+}  // namespace ici::core

@@ -1,0 +1,172 @@
+// Transaction location service: txid → (block, height) answered by the
+// cluster member that indexes the tx for free from commit deltas.
+#include <gtest/gtest.h>
+
+#include "chain/workload.h"
+#include "ici/network.h"
+#include "spv/proof.h"
+
+namespace ici::core {
+namespace {
+
+struct LiveRig {
+  LiveRig() {
+    ChainGenConfig ccfg;
+    ccfg.txs_per_block = 10;
+    gen = std::make_unique<ChainGenerator>(ccfg);
+    IciNetworkConfig ncfg;
+    ncfg.node_count = 20;
+    ncfg.ici.cluster_count = 2;
+    net = std::make_unique<IciNetwork>(ncfg);
+    Block genesis = gen->workload().make_genesis();
+    gen->workload().confirm(genesis);
+    chain = std::make_unique<Chain>(genesis);
+    net->init_with_genesis(genesis);
+    for (int i = 0; i < 5; ++i) {
+      chain->append(gen->next_block(*chain));
+      EXPECT_GT(net->disseminate_and_settle(chain->tip()), 0u);
+    }
+  }
+  std::unique_ptr<ChainGenerator> gen;
+  std::unique_ptr<IciNetwork> net;
+  std::unique_ptr<Chain> chain;
+};
+
+TEST(TxLocate, FindsEveryCommittedTxFromEveryCluster) {
+  LiveRig rig;
+  for (std::uint64_t h = 1; h <= rig.chain->height(); ++h) {
+    const Block& block = rig.chain->at_height(h);
+    for (const Transaction& tx : block.txs()) {
+      // Ask from a node in each cluster.
+      for (std::size_t c = 0; c < rig.net->directory().cluster_count(); ++c) {
+        const auto asker = rig.net->directory().members(c).front();
+        bool called = false;
+        rig.net->node(asker).locate_tx(
+            tx.txid(), [&](bool found, Hash256 hash, std::uint64_t height) {
+              called = true;
+              EXPECT_TRUE(found) << "height " << h;
+              EXPECT_EQ(hash, block.hash());
+              EXPECT_EQ(height, h);
+            });
+        rig.net->settle();
+        EXPECT_TRUE(called);
+      }
+    }
+  }
+}
+
+TEST(TxLocate, UnknownTxidNotFound) {
+  LiveRig rig;
+  bool called = false;
+  rig.net->node(0).locate_tx(Hash256::tagged("nope", {}),
+                             [&](bool found, Hash256, std::uint64_t) {
+                               called = true;
+                               EXPECT_FALSE(found);
+                             });
+  rig.net->settle();
+  EXPECT_TRUE(called);
+}
+
+TEST(TxLocate, GenesisTxsIndexed) {
+  LiveRig rig;
+  const Hash256 txid = rig.chain->at_height(0).txs()[0].txid();
+  bool called = false;
+  rig.net->node(3).locate_tx(txid, [&](bool found, Hash256 hash, std::uint64_t height) {
+    called = true;
+    EXPECT_TRUE(found);
+    EXPECT_EQ(hash, rig.chain->at_height(0).hash());
+    EXPECT_EQ(height, 0u);
+  });
+  rig.net->settle();
+  EXPECT_TRUE(called);
+}
+
+TEST(TxLocate, LocateAndProveEndToEnd) {
+  LiveRig rig;
+  const Block& block = rig.chain->at_height(3);
+  const Transaction& tx = block.txs()[2];
+
+  bool got = false;
+  rig.net->node(1).locate_and_prove(
+      tx.txid(), [&](std::optional<spv::TxInclusionProof> proof, sim::SimTime elapsed) {
+        ASSERT_TRUE(proof.has_value());
+        EXPECT_EQ(proof->txid, tx.txid());
+        EXPECT_EQ(proof->height, 3u);
+        EXPECT_TRUE(spv::verify_proof(*proof, block.header()));
+        EXPECT_GT(elapsed, 0u);
+        got = true;
+      });
+  rig.net->settle();
+  EXPECT_TRUE(got);
+}
+
+TEST(TxLocate, LocateAndProveUnknownTxMisses) {
+  LiveRig rig;
+  bool called = false;
+  rig.net->node(1).locate_and_prove(Hash256::tagged("ghost", {}),
+                                    [&](std::optional<spv::TxInclusionProof> proof,
+                                        sim::SimTime) {
+                                      called = true;
+                                      EXPECT_FALSE(proof.has_value());
+                                    });
+  rig.net->settle();
+  EXPECT_TRUE(called);
+}
+
+TEST(TxLocate, PreloadedIndexWorks) {
+  ChainGenConfig ccfg;
+  ccfg.blocks = 6;
+  ccfg.txs_per_block = 5;
+  const Chain chain = ChainGenerator(ccfg).generate();
+
+  IciNetworkConfig cfg;
+  cfg.node_count = 16;
+  cfg.ici.cluster_count = 2;
+  IciNetwork net(cfg);
+  net.init_with_genesis(chain.at_height(0));
+  net.preload_chain(chain, /*build_tx_index=*/true);
+
+  const Block& block = chain.at_height(4);
+  bool called = false;
+  net.node(0).locate_tx(block.txs()[1].txid(),
+                        [&](bool found, Hash256 hash, std::uint64_t height) {
+                          called = true;
+                          EXPECT_TRUE(found);
+                          EXPECT_EQ(hash, block.hash());
+                          EXPECT_EQ(height, 4u);
+                        });
+  net.settle();
+  EXPECT_TRUE(called);
+}
+
+TEST(TxLocate, OfflineOwnerTimesOutGracefully) {
+  LiveRig rig;
+  const Block& block = rig.chain->at_height(2);
+  const Hash256 txid = block.txs()[1].txid();
+
+  // Find the owner in cluster 0 and take it offline; ask from another
+  // member of cluster 0.
+  const auto owner = rig.net->utxo_owner(OutPoint{txid, 0}, 0);
+  rig.net->network().set_online(owner, false);
+  rig.net->directory().set_online(owner, false);
+
+  cluster::NodeId asker = cluster::kNoNode;
+  for (auto id : rig.net->directory().members(0)) {
+    if (id != owner) {
+      asker = id;
+      break;
+    }
+  }
+  ASSERT_NE(asker, cluster::kNoNode);
+  bool called = false;
+  rig.net->node(asker).locate_tx(txid, [&](bool found, Hash256, std::uint64_t) {
+    called = true;
+    EXPECT_FALSE(found);  // owner dark → graceful timeout
+  });
+  rig.net->settle();
+  EXPECT_TRUE(called);
+  EXPECT_GT(rig.net->metrics().counter_value("locate.timeouts"), 0u);
+}
+
+}  // namespace
+}  // namespace ici::core

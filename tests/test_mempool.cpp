@@ -1,0 +1,100 @@
+#include "chain/mempool.h"
+
+#include <gtest/gtest.h>
+
+namespace ici {
+namespace {
+
+Transaction make_tx(std::uint64_t input_salt, std::uint64_t nonce) {
+  const KeyPair owner = KeyPair::from_seed(input_salt);
+  ByteWriter w;
+  w.u64(input_salt);
+  Transaction tx({TxInput{OutPoint{Hash256::of(ByteSpan(w.bytes().data(), w.bytes().size())), 0},
+                          {},
+                          {}}},
+                 {TxOutput{10, owner.pub}}, nonce);
+  tx.sign_all_inputs(owner);
+  return tx;
+}
+
+TEST(Mempool, AddAndContains) {
+  Mempool pool;
+  const Transaction tx = make_tx(1, 1);
+  EXPECT_TRUE(pool.add(tx));
+  EXPECT_TRUE(pool.contains(tx.txid()));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, RejectsDuplicateTxid) {
+  Mempool pool;
+  const Transaction tx = make_tx(1, 1);
+  EXPECT_TRUE(pool.add(tx));
+  EXPECT_FALSE(pool.add(tx));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, RejectsConflictingSpend) {
+  Mempool pool;
+  EXPECT_TRUE(pool.add(make_tx(1, 1)));
+  // Same input (salt 1), different nonce → different txid, same outpoint.
+  EXPECT_FALSE(pool.add(make_tx(1, 2)));
+}
+
+TEST(Mempool, TakeReturnsArrivalOrder) {
+  Mempool pool;
+  const Transaction a = make_tx(1, 1);
+  const Transaction b = make_tx(2, 1);
+  const Transaction c = make_tx(3, 1);
+  pool.add(a);
+  pool.add(b);
+  pool.add(c);
+  const auto taken = pool.take(2);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].txid(), a.txid());
+  EXPECT_EQ(taken[1].txid(), b.txid());
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, TakeMoreThanAvailable) {
+  Mempool pool;
+  pool.add(make_tx(1, 1));
+  EXPECT_EQ(pool.take(10).size(), 1u);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(Mempool, TakenInputsBecomeSpendableAgain) {
+  Mempool pool;
+  pool.add(make_tx(1, 1));
+  (void)pool.take(1);
+  // Once removed from the pool, a conflicting spend is admissible again.
+  EXPECT_TRUE(pool.add(make_tx(1, 2)));
+}
+
+TEST(Mempool, RemoveConfirmedDropsTx) {
+  Mempool pool;
+  const Transaction tx = make_tx(1, 1);
+  pool.add(tx);
+  pool.remove_confirmed({tx});
+  EXPECT_FALSE(pool.contains(tx.txid()));
+  EXPECT_TRUE(pool.take(10).empty());
+}
+
+TEST(Mempool, RemoveConfirmedEvictsConflicts) {
+  Mempool pool;
+  const Transaction pooled = make_tx(1, 1);
+  pool.add(pooled);
+  // A different tx confirming the same outpoint (e.g. mined by someone else).
+  const Transaction confirmed = make_tx(1, 99);
+  pool.remove_confirmed({confirmed});
+  EXPECT_FALSE(pool.contains(pooled.txid()));
+}
+
+TEST(Mempool, RemoveConfirmedIgnoresUnknown) {
+  Mempool pool;
+  pool.add(make_tx(1, 1));
+  pool.remove_confirmed({make_tx(2, 1)});
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ici

@@ -1,0 +1,118 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+namespace ici {
+namespace {
+
+Hash256 leaf(std::uint64_t i) {
+  ByteWriter w;
+  w.u64(i);
+  return Hash256::of(ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+std::vector<Hash256> leaves(std::size_t n) {
+  std::vector<Hash256> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(leaf(i));
+  return out;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  MerkleTree t({});
+  EXPECT_TRUE(t.root().is_zero());
+  EXPECT_EQ(MerkleTree::compute_root({}), Hash256{});
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const Hash256 l = leaf(0);
+  MerkleTree t({l});
+  EXPECT_EQ(t.root(), l);
+}
+
+TEST(Merkle, TwoLeavesRootIsParent) {
+  const Hash256 a = leaf(0), b = leaf(1);
+  MerkleTree t({a, b});
+  EXPECT_EQ(t.root(), merkle_parent(a, b));
+}
+
+TEST(Merkle, OddLevelDuplicatesLast) {
+  const Hash256 a = leaf(0), b = leaf(1), c = leaf(2);
+  MerkleTree t({a, b, c});
+  const Hash256 expected = merkle_parent(merkle_parent(a, b), merkle_parent(c, c));
+  EXPECT_EQ(t.root(), expected);
+}
+
+TEST(Merkle, ParentIsOrderSensitive) {
+  const Hash256 a = leaf(0), b = leaf(1);
+  EXPECT_NE(merkle_parent(a, b), merkle_parent(b, a));
+}
+
+TEST(Merkle, ComputeRootMatchesTree) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 33u}) {
+    const auto ls = leaves(n);
+    MerkleTree t(ls);
+    EXPECT_EQ(MerkleTree::compute_root(ls), t.root()) << "n=" << n;
+  }
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  MerkleTree t(leaves(4));
+  EXPECT_THROW((void)t.prove(4), std::out_of_range);
+}
+
+class MerkleProofAllSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofAllSizes, EveryLeafVerifies) {
+  const std::size_t n = GetParam();
+  const auto ls = leaves(n);
+  MerkleTree t(ls);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = t.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(ls[i], i, proof, t.root())) << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleProofAllSizes, WrongLeafFails) {
+  const std::size_t n = GetParam();
+  const auto ls = leaves(n);
+  MerkleTree t(ls);
+  const MerkleProof proof = t.prove(0);
+  EXPECT_FALSE(MerkleTree::verify(leaf(999), 0, proof, t.root()));
+}
+
+TEST_P(MerkleProofAllSizes, WrongRootFails) {
+  const std::size_t n = GetParam();
+  const auto ls = leaves(n);
+  MerkleTree t(ls);
+  EXPECT_FALSE(MerkleTree::verify(ls[0], 0, t.prove(0), leaf(12345)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofAllSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 64, 100));
+
+TEST(Merkle, TamperedProofStepFails) {
+  const auto ls = leaves(8);
+  MerkleTree t(ls);
+  MerkleProof proof = t.prove(3);
+  proof[1].sibling = leaf(777);
+  EXPECT_FALSE(MerkleTree::verify(ls[3], 3, proof, t.root()));
+}
+
+TEST(Merkle, FlippedSideFails) {
+  const auto ls = leaves(8);
+  MerkleTree t(ls);
+  MerkleProof proof = t.prove(3);
+  proof[0].sibling_is_right = !proof[0].sibling_is_right;
+  EXPECT_FALSE(MerkleTree::verify(ls[3], 3, proof, t.root()));
+}
+
+TEST(Merkle, ProofDepthIsLogarithmic) {
+  MerkleTree t(leaves(64));
+  EXPECT_EQ(t.prove(0).size(), 6u);  // log2(64)
+  MerkleTree t100(leaves(100));
+  EXPECT_EQ(t100.prove(0).size(), 7u);  // ceil(log2(100))
+}
+
+}  // namespace
+}  // namespace ici

@@ -1,0 +1,61 @@
+#include "metrics/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace ici::metrics {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(5);
+  EXPECT_EQ(c.value(), 6u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Registry, CounterCreatedOnDemand) {
+  Registry r;
+  EXPECT_EQ(r.counter_value("missing"), 0u);
+  r.counter("a").inc(3);
+  EXPECT_EQ(r.counter_value("a"), 3u);
+  r.counter("a").inc();
+  EXPECT_EQ(r.counter_value("a"), 4u);
+}
+
+TEST(Registry, DistributionCreatedOnDemand) {
+  Registry r;
+  EXPECT_EQ(r.find_distribution("missing"), nullptr);
+  r.distribution("lat").add(10);
+  r.distribution("lat").add(20);
+  const Distribution* d = r.find_distribution("lat");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_EQ(d->mean(), 15.0);
+}
+
+TEST(Registry, IterationIsSorted) {
+  Registry r;
+  r.counter("zebra").inc();
+  r.counter("alpha").inc();
+  r.counter("mid").inc();
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : r.counters()) {
+    (void)counter;
+    names.push_back(name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+TEST(Registry, ResetClearsEverything) {
+  Registry r;
+  r.counter("c").inc();
+  r.distribution("d").add(1);
+  r.reset();
+  EXPECT_EQ(r.counter_value("c"), 0u);
+  EXPECT_EQ(r.find_distribution("d"), nullptr);
+}
+
+}  // namespace
+}  // namespace ici::metrics

@@ -1,0 +1,127 @@
+#include "cluster/repair.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ici::cluster {
+namespace {
+
+Hash256 block(std::uint64_t i) {
+  ByteWriter w;
+  w.u64(i);
+  return Hash256::of(ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+std::vector<NodeInfo> members(std::size_t n) {
+  std::vector<NodeInfo> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back({static_cast<NodeId>(i), {0, 0}, 1.0});
+  return out;
+}
+
+/// Simulated possession map.
+class Holders {
+ public:
+  void give(NodeId id, const Hash256& h) { map_[id].insert(h); }
+  [[nodiscard]] bool holds(NodeId id, const Hash256& h) const {
+    const auto it = map_.find(id);
+    return it != map_.end() && it->second.contains(h);
+  }
+  [[nodiscard]] std::function<bool(NodeId, const Hash256&)> fn() const {
+    return [this](NodeId id, const Hash256& h) { return holds(id, h); };
+  }
+
+ private:
+  std::unordered_map<NodeId, std::unordered_set<Hash256, Hash256Hasher>> map_;
+};
+
+class RepairTest : public ::testing::Test {
+ protected:
+  RepairTest() {
+    all = members(6);
+    for (std::uint64_t i = 0; i < 40; ++i) ledger.push_back({block(i), i});
+    // Place every block on its assigned storer (r=1 steady state).
+    for (const auto& ref : ledger) {
+      holders.give(assigner.storers(ref.hash, ref.height, all, 1)[0], ref.hash);
+    }
+  }
+
+  RendezvousAssigner assigner;
+  std::vector<NodeInfo> all;
+  std::vector<BlockRef> ledger;
+  Holders holders;
+};
+
+TEST_F(RepairTest, SteadyStateNeedsNoRepair) {
+  const RepairPlan plan = plan_repair(ledger, all, assigner, 1, holders.fn());
+  EXPECT_TRUE(plan.actions.empty());
+  EXPECT_TRUE(plan.lost.empty());
+}
+
+TEST_F(RepairTest, DepartureWithROneLosesItsBlocks) {
+  // Node 0 leaves; its blocks have no other holder → lost within cluster.
+  std::vector<NodeInfo> alive(all.begin() + 1, all.end());
+  const RepairPlan plan = plan_repair(ledger, alive, assigner, 1, holders.fn());
+  std::size_t on_zero = 0;
+  for (const auto& ref : ledger) {
+    if (assigner.storers(ref.hash, ref.height, all, 1)[0] == 0) ++on_zero;
+  }
+  EXPECT_EQ(plan.lost.size(), on_zero);
+  EXPECT_TRUE(plan.actions.empty());  // nothing to copy from
+}
+
+TEST_F(RepairTest, DepartureWithRTwoRepairsFromSurvivor) {
+  // Re-place with r=2 so every block has two holders.
+  Holders h2;
+  for (const auto& ref : ledger) {
+    for (NodeId id : assigner.storers(ref.hash, ref.height, all, 2)) h2.give(id, ref.hash);
+  }
+  std::vector<NodeInfo> alive(all.begin() + 1, all.end());
+  const RepairPlan plan = plan_repair(ledger, alive, assigner, 2, h2.fn());
+  EXPECT_TRUE(plan.lost.empty());
+  // Every action's source actually holds the block, target doesn't.
+  for (const RepairAction& a : plan.actions) {
+    EXPECT_TRUE(h2.holds(a.source, a.block_hash));
+    EXPECT_FALSE(h2.holds(a.target, a.block_hash));
+    EXPECT_NE(a.source, 0u);
+    EXPECT_NE(a.target, 0u);
+  }
+  EXPECT_GT(plan.actions.size(), 0u);
+}
+
+TEST_F(RepairTest, NoAliveMembersMeansAllLost) {
+  const RepairPlan plan = plan_repair(ledger, {}, assigner, 1, holders.fn());
+  EXPECT_EQ(plan.lost.size(), ledger.size());
+}
+
+TEST_F(RepairTest, ReturningNodeNeedsNoCopies) {
+  // Everyone alive and in steady state; the plan over the full set is empty
+  // even after a node left and returned (it kept its disk).
+  const RepairPlan plan = plan_repair(ledger, all, assigner, 1, holders.fn());
+  EXPECT_TRUE(plan.actions.empty());
+}
+
+TEST_F(RepairTest, EmptyLedgerIsTrivial) {
+  const RepairPlan plan = plan_repair({}, all, assigner, 1, holders.fn());
+  EXPECT_TRUE(plan.actions.empty());
+  EXPECT_TRUE(plan.lost.empty());
+}
+
+TEST_F(RepairTest, RepairTargetsFollowAssignment) {
+  // After node 0 leaves with r=2 placement, each repaired block's target is
+  // exactly the assignment over the survivors.
+  Holders h2;
+  for (const auto& ref : ledger) {
+    for (NodeId id : assigner.storers(ref.hash, ref.height, all, 2)) h2.give(id, ref.hash);
+  }
+  std::vector<NodeInfo> alive(all.begin() + 1, all.end());
+  const RepairPlan plan = plan_repair(ledger, alive, assigner, 2, h2.fn());
+  for (const RepairAction& a : plan.actions) {
+    const auto want = assigner.storers(a.block_hash, a.height, alive, 2);
+    EXPECT_NE(std::find(want.begin(), want.end(), a.target), want.end());
+  }
+}
+
+}  // namespace
+}  // namespace ici::cluster

@@ -1,0 +1,139 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace ici {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a.next() != b.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformThrowsOnZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    hit_lo |= v == 3;
+    hit_hi |= v == 5;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, RangeThrowsWhenInverted) {
+  Rng rng(1);
+  EXPECT_THROW(rng.range(5, 3), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(13);
+  double total = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) total += rng.uniform01();
+  EXPECT_NEAR(total / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(19);
+  double total = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) total += rng.exponential(5.0);
+  EXPECT_NEAR(total / kN, 5.0, 0.15);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(23);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ChanceFrequencyApproximatesP) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BytesLengthAndDeterminism) {
+  Rng a(31), b(31);
+  EXPECT_EQ(a.bytes(13).size(), 13u);
+  Rng c(31);
+  EXPECT_EQ(b.bytes(32), c.bytes(32));
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, IndexThrowsOnEmpty) {
+  Rng rng(41);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(43);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) ++seen[rng.uniform(10)];
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 expected each
+}
+
+}  // namespace
+}  // namespace ici

@@ -1,0 +1,154 @@
+#include "erasure/rs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ici::erasure {
+namespace {
+
+Bytes random_payload(std::size_t n, std::uint64_t seed) { return Rng(seed).bytes(n); }
+
+TEST(ReedSolomon, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomon(0, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+  EXPECT_NO_THROW(ReedSolomon(1, 0));
+  EXPECT_NO_THROW(ReedSolomon(253, 2));
+}
+
+TEST(ReedSolomon, SystematicShardsCarryPayload) {
+  ReedSolomon rs(4, 2);
+  const Bytes payload = random_payload(100, 1);
+  const auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  ASSERT_EQ(shards.size(), 6u);
+  // Reassembling just the data shards (indices 0..3) yields the framed
+  // payload: length prefix then the bytes.
+  Bytes framed;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(shards[i].index, i);
+    framed.insert(framed.end(), shards[i].bytes.begin(), shards[i].bytes.end());
+  }
+  EXPECT_EQ(framed[0], 100);  // little-endian length
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), framed.begin() + 4));
+}
+
+TEST(ReedSolomon, RoundTripAllShards) {
+  ReedSolomon rs(5, 3);
+  const Bytes payload = random_payload(333, 2);
+  const auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  const auto back = rs.reconstruct(shards);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+class RsErasurePatterns : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RsErasurePatterns, AnyDataSubsetReconstructs) {
+  const auto [d, p] = GetParam();
+  ReedSolomon rs(static_cast<std::size_t>(d), static_cast<std::size_t>(p));
+  const Bytes payload = random_payload(257, 3);
+  const auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  const std::size_t total = shards.size();
+
+  // Every subset of exactly d shards must reconstruct (MDS property).
+  // Enumerate via bitmask for small totals.
+  for (std::uint32_t mask = 0; mask < (1u << total); ++mask) {
+    if (static_cast<int>(__builtin_popcount(mask)) != d) continue;
+    std::vector<Shard> subset;
+    for (std::size_t i = 0; i < total; ++i) {
+      if (mask & (1u << i)) subset.push_back(shards[i]);
+    }
+    const auto back = rs.reconstruct(subset);
+    ASSERT_TRUE(back.has_value()) << "mask " << mask;
+    EXPECT_EQ(*back, payload) << "mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCodes, RsErasurePatterns,
+                         ::testing::Values(std::make_pair(2, 1), std::make_pair(2, 2),
+                                           std::make_pair(3, 2), std::make_pair(4, 2),
+                                           std::make_pair(4, 4), std::make_pair(5, 3)));
+
+TEST(ReedSolomon, TooFewShardsFails) {
+  ReedSolomon rs(4, 2);
+  const Bytes payload = random_payload(64, 4);
+  auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  shards.resize(3);
+  EXPECT_FALSE(rs.reconstruct(shards).has_value());
+}
+
+TEST(ReedSolomon, DuplicateShardsDoNotCount) {
+  ReedSolomon rs(3, 2);
+  const Bytes payload = random_payload(64, 5);
+  const auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  const std::vector<Shard> dupes = {shards[0], shards[0], shards[0], shards[1]};
+  EXPECT_FALSE(rs.reconstruct(dupes).has_value());
+}
+
+TEST(ReedSolomon, OutOfRangeIndicesIgnored) {
+  ReedSolomon rs(2, 1);
+  const Bytes payload = random_payload(10, 6);
+  auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  Shard bogus;
+  bogus.index = 99;
+  bogus.bytes = shards[0].bytes;
+  const std::vector<Shard> mixed = {bogus, shards[1], shards[2]};
+  const auto back = rs.reconstruct(mixed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(ReedSolomon, EmptyPayloadRoundTrips) {
+  ReedSolomon rs(3, 2);
+  const auto shards = rs.encode({});
+  const auto back = rs.reconstruct({shards[1], shards[3], shards[4]});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ReedSolomon, PayloadSizesAroundShardBoundaries) {
+  ReedSolomon rs(4, 2);
+  for (std::size_t n : {1u, 3u, 4u, 5u, 15u, 16u, 17u, 1000u}) {
+    const Bytes payload = random_payload(n, 100 + n);
+    auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+    // Drop two random-ish shards.
+    shards.erase(shards.begin() + 1);
+    shards.erase(shards.begin() + 3);
+    const auto back = rs.reconstruct(shards);
+    ASSERT_TRUE(back.has_value()) << n;
+    EXPECT_EQ(*back, payload) << n;
+  }
+}
+
+TEST(ReedSolomon, ShardSizeFormula) {
+  ReedSolomon rs(4, 2);
+  // framed = payload + 4, rounded up to /4.
+  EXPECT_EQ(rs.shard_size(0), 1u);
+  EXPECT_EQ(rs.shard_size(4), 2u);
+  EXPECT_EQ(rs.shard_size(100), 26u);
+  const Bytes payload = random_payload(100, 9);
+  EXPECT_EQ(rs.encode(ByteSpan(payload.data(), payload.size()))[0].bytes.size(), 26u);
+}
+
+TEST(ReedSolomon, StorageOverheadIsParityFraction) {
+  ReedSolomon rs(8, 2);
+  const Bytes payload = random_payload(8000, 10);
+  const auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.bytes.size();
+  // (d+p)/d = 1.25× plus framing rounding.
+  EXPECT_NEAR(static_cast<double>(total) / static_cast<double>(payload.size()), 1.25, 0.01);
+}
+
+TEST(ReedSolomon, ParityZeroDegeneratesToSplitting) {
+  ReedSolomon rs(4, 0);
+  const Bytes payload = random_payload(40, 11);
+  const auto shards = rs.encode(ByteSpan(payload.data(), payload.size()));
+  EXPECT_EQ(shards.size(), 4u);
+  const auto back = rs.reconstruct(shards);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+}  // namespace
+}  // namespace ici::erasure

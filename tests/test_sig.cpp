@@ -1,0 +1,67 @@
+#include "crypto/sig.h"
+
+#include <gtest/gtest.h>
+
+namespace ici {
+namespace {
+
+ByteSpan msg(const Bytes& b) { return ByteSpan(b.data(), b.size()); }
+
+TEST(Sig, SignVerifyRoundTrip) {
+  const KeyPair kp = KeyPair::from_seed(1);
+  const Bytes m = {1, 2, 3};
+  const Signature s = sign(kp, msg(m));
+  EXPECT_TRUE(verify(kp.pub, msg(m), s));
+}
+
+TEST(Sig, WrongMessageFails) {
+  const KeyPair kp = KeyPair::from_seed(2);
+  const Bytes m1 = {1}, m2 = {2};
+  const Signature s = sign(kp, msg(m1));
+  EXPECT_FALSE(verify(kp.pub, msg(m2), s));
+}
+
+TEST(Sig, WrongKeyFails) {
+  const KeyPair kp1 = KeyPair::from_seed(3);
+  const KeyPair kp2 = KeyPair::from_seed(4);
+  const Bytes m = {9};
+  const Signature s = sign(kp1, msg(m));
+  EXPECT_FALSE(verify(kp2.pub, msg(m), s));
+}
+
+TEST(Sig, TamperedSignatureFails) {
+  const KeyPair kp = KeyPair::from_seed(5);
+  const Bytes m = {7};
+  Signature s = sign(kp, msg(m));
+  s[0] ^= 0x01;
+  EXPECT_FALSE(verify(kp.pub, msg(m), s));
+  s[0] ^= 0x01;
+  s[63] ^= 0x80;
+  EXPECT_FALSE(verify(kp.pub, msg(m), s));
+}
+
+TEST(Sig, DeterministicKeysFromSeed) {
+  EXPECT_EQ(KeyPair::from_seed(42).pub, KeyPair::from_seed(42).pub);
+  EXPECT_NE(KeyPair::from_seed(42).pub, KeyPair::from_seed(43).pub);
+}
+
+TEST(Sig, SignatureIsDeterministic) {
+  const KeyPair kp = KeyPair::from_seed(6);
+  const Bytes m = {1, 1, 1};
+  EXPECT_EQ(sign(kp, msg(m)), sign(kp, msg(m)));
+}
+
+TEST(Sig, EmptyMessageWorks) {
+  const KeyPair kp = KeyPair::from_seed(7);
+  const Signature s = sign(kp, {});
+  EXPECT_TRUE(verify(kp.pub, {}, s));
+}
+
+TEST(Sig, KeyIdIsStableAndShort) {
+  const KeyPair kp = KeyPair::from_seed(8);
+  EXPECT_EQ(key_id(kp.pub), key_id(kp.pub));
+  EXPECT_EQ(key_id(kp.pub).size(), 8u);
+}
+
+}  // namespace
+}  // namespace ici

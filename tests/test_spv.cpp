@@ -1,0 +1,182 @@
+#include "spv/proof.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/workload.h"
+#include "ici/network.h"
+
+namespace ici::spv {
+namespace {
+
+Chain make_chain(std::size_t blocks = 6) {
+  ChainGenConfig cfg;
+  cfg.blocks = blocks;
+  cfg.txs_per_block = 9;
+  return ChainGenerator(cfg).generate();
+}
+
+TEST(Proof, BuildAndVerifyEveryTx) {
+  const Chain chain = make_chain();
+  const Block& block = chain.at_height(3);
+  for (const Transaction& tx : block.txs()) {
+    const auto proof = build_proof(block, tx.txid());
+    ASSERT_TRUE(proof.has_value());
+    EXPECT_EQ(proof->txid, tx.txid());
+    EXPECT_EQ(proof->height, 3u);
+    EXPECT_TRUE(verify_proof(*proof, block.header()));
+  }
+}
+
+TEST(Proof, UnknownTxidYieldsNoProof) {
+  const Chain chain = make_chain();
+  EXPECT_FALSE(build_proof(chain.at_height(1), Hash256::of({})).has_value());
+}
+
+TEST(Proof, WrongHeaderFails) {
+  const Chain chain = make_chain();
+  const Block& block = chain.at_height(2);
+  const auto proof = build_proof(block, block.txs()[1].txid());
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(verify_proof(*proof, chain.at_height(3).header()));
+}
+
+TEST(Proof, TamperedFieldsFail) {
+  const Chain chain = make_chain();
+  const Block& block = chain.at_height(2);
+  auto proof = build_proof(block, block.txs()[1].txid());
+  ASSERT_TRUE(proof.has_value());
+
+  auto tampered = *proof;
+  tampered.tx_index += 1;
+  EXPECT_FALSE(verify_proof(tampered, block.header()));
+
+  tampered = *proof;
+  tampered.txid = Hash256::of({});
+  EXPECT_FALSE(verify_proof(tampered, block.header()));
+
+  tampered = *proof;
+  if (!tampered.path.empty()) {
+    tampered.path[0].sibling = Hash256::of({});
+    EXPECT_FALSE(verify_proof(tampered, block.header()));
+  }
+}
+
+TEST(LightClient, FollowsValidChain) {
+  const Chain chain = make_chain();
+  LightClient client(chain.at_height(0).header());
+  for (std::uint64_t h = 1; h <= chain.height(); ++h) {
+    EXPECT_TRUE(client.add_header(chain.at_height(h).header())) << h;
+  }
+  EXPECT_EQ(client.tip_height(), chain.height());
+  EXPECT_EQ(client.header_at(2)->hash(), chain.at_height(2).hash());
+  EXPECT_EQ(client.header_at(99), nullptr);
+}
+
+TEST(LightClient, RejectsBrokenLinkage) {
+  const Chain chain = make_chain();
+  LightClient client(chain.at_height(0).header());
+  EXPECT_FALSE(client.add_header(chain.at_height(2).header()));  // skipped 1
+  BlockHeader wrong = chain.at_height(1).header();
+  wrong.parent = Hash256::of({});
+  EXPECT_FALSE(client.add_header(wrong));
+  EXPECT_TRUE(client.add_header(chain.at_height(1).header()));
+}
+
+TEST(LightClient, SyncBulkAndValidateProof) {
+  const Chain chain = make_chain();
+  LightClient client(chain.at_height(0).header());
+  std::vector<BlockHeader> headers;
+  for (const Block& b : chain.blocks()) headers.push_back(b.header());
+  EXPECT_EQ(client.sync(headers), chain.height());
+
+  const Block& block = chain.at_height(4);
+  const auto proof = build_proof(block, block.txs()[2].txid());
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(client.validate(*proof));
+
+  // A proof claiming the wrong height fails even if internally consistent.
+  auto moved = *proof;
+  moved.height = 3;
+  EXPECT_FALSE(client.validate(moved));
+}
+
+// -- network-served proofs ---------------------------------------------------
+
+struct NetRig {
+  explicit NetRig(bool coded) {
+    chain = std::make_unique<Chain>(make_chain(8));
+    core::IciNetworkConfig cfg;
+    cfg.node_count = 20;
+    cfg.ici.cluster_count = 2;
+    if (coded) {
+      cfg.ici.erasure_data = 4;
+      cfg.ici.erasure_parity = 2;
+    }
+    net = std::make_unique<core::IciNetwork>(cfg);
+    net->init_with_genesis(chain->at_height(0));
+    net->preload_chain(*chain);
+  }
+  std::unique_ptr<Chain> chain;
+  std::unique_ptr<core::IciNetwork> net;
+};
+
+TEST(SpvNetwork, FetchProofFromClusterReplicated) {
+  NetRig rig(false);
+  const Block& block = rig.chain->at_height(5);
+  const Hash256 txid = block.txs()[1].txid();
+
+  // A node without the body must fetch the proof from a holder.
+  cluster::NodeId requester = cluster::kNoNode;
+  for (std::size_t id = 0; id < rig.net->node_count(); ++id) {
+    if (!rig.net->node(static_cast<cluster::NodeId>(id)).store().has_block(block.hash())) {
+      requester = static_cast<cluster::NodeId>(id);
+      break;
+    }
+  }
+  ASSERT_NE(requester, cluster::kNoNode);
+
+  bool got = false;
+  rig.net->node(requester).fetch_proof(
+      txid, block.hash(), 5,
+      [&](std::optional<TxInclusionProof> proof, sim::SimTime elapsed) {
+        ASSERT_TRUE(proof.has_value());
+        EXPECT_TRUE(verify_proof(*proof, block.header()));
+        EXPECT_GT(elapsed, 0u);
+        got = true;
+      });
+  rig.net->settle();
+  EXPECT_TRUE(got);
+}
+
+TEST(SpvNetwork, FetchProofCodedModeReconstructs) {
+  NetRig rig(true);
+  const Block& block = rig.chain->at_height(5);
+  const Hash256 txid = block.txs()[1].txid();
+
+  bool got = false;
+  rig.net->node(0).fetch_proof(txid, block.hash(), 5,
+                               [&](std::optional<TxInclusionProof> proof, sim::SimTime) {
+                                 ASSERT_TRUE(proof.has_value());
+                                 EXPECT_TRUE(verify_proof(*proof, block.header()));
+                                 got = true;
+                               });
+  rig.net->settle();
+  EXPECT_TRUE(got);
+}
+
+TEST(SpvNetwork, UnknownTxYieldsMiss) {
+  NetRig rig(false);
+  const Block& block = rig.chain->at_height(5);
+  bool called = false;
+  rig.net->node(0).fetch_proof(Hash256::of({}), block.hash(), 5,
+                               [&](std::optional<TxInclusionProof> proof, sim::SimTime) {
+                                 called = true;
+                                 EXPECT_FALSE(proof.has_value());
+                               });
+  rig.net->settle();
+  EXPECT_TRUE(called);
+  EXPECT_GT(rig.net->metrics().counter_value("spv.misses"), 0u);
+}
+
+}  // namespace
+}  // namespace ici::spv

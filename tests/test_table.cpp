@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ici {
+namespace {
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"name", "count"});
+  t.row({"alpha", "10"});
+  t.row({"beta", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"1"});
+  t.row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, WidensColumnsToFitCells) {
+  Table t({"h"});
+  t.row({"a-rather-long-cell"});
+  std::ostringstream os;
+  t.print(os);
+  // Every line should be at least as wide as the longest cell.
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_GE(line.size(), std::string("a-rather-long-cell").size());
+}
+
+TEST(Table, EmptyTablePrintsHeaderOnly) {
+  Table t({"col1", "col2"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("col1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ici

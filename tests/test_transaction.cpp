@@ -1,0 +1,117 @@
+#include "chain/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace ici {
+namespace {
+
+Transaction sample_tx(const KeyPair& owner, std::uint64_t nonce = 1) {
+  const Hash256 prev = Hash256::of({});
+  Transaction tx({TxInput{OutPoint{prev, 0}, {}, {}}},
+                 {TxOutput{100, KeyPair::from_seed(99).pub}, TxOutput{50, owner.pub}}, nonce);
+  tx.sign_all_inputs(owner);
+  return tx;
+}
+
+TEST(Transaction, CoinbaseHasNoInputs) {
+  const auto cb = Transaction::coinbase(KeyPair::from_seed(1).pub, 500, 7);
+  EXPECT_TRUE(cb.is_coinbase());
+  EXPECT_EQ(cb.outputs().size(), 1u);
+  EXPECT_EQ(cb.outputs()[0].value, 500u);
+  EXPECT_EQ(cb.nonce(), 7u);
+}
+
+TEST(Transaction, CoinbasesAtDifferentHeightsHaveDistinctTxids) {
+  const PublicKey pub = KeyPair::from_seed(1).pub;
+  EXPECT_NE(Transaction::coinbase(pub, 500, 1).txid(), Transaction::coinbase(pub, 500, 2).txid());
+}
+
+TEST(Transaction, SerializeRoundTrip) {
+  const KeyPair owner = KeyPair::from_seed(5);
+  const Transaction tx = sample_tx(owner);
+  const Bytes enc = tx.serialize();
+  const Transaction back = Transaction::deserialize(ByteSpan(enc.data(), enc.size()));
+  EXPECT_EQ(back.txid(), tx.txid());
+  EXPECT_EQ(back.inputs().size(), tx.inputs().size());
+  EXPECT_EQ(back.outputs().size(), tx.outputs().size());
+  EXPECT_EQ(back.outputs()[0].value, 100u);
+  EXPECT_EQ(back.nonce(), tx.nonce());
+  EXPECT_EQ(back.inputs()[0].sig, tx.inputs()[0].sig);
+}
+
+TEST(Transaction, DeserializeRejectsTrailingBytes) {
+  const KeyPair owner = KeyPair::from_seed(5);
+  Bytes enc = sample_tx(owner).serialize();
+  enc.push_back(0);
+  EXPECT_THROW(Transaction::deserialize(ByteSpan(enc.data(), enc.size())), DecodeError);
+}
+
+TEST(Transaction, DeserializeRejectsTruncation) {
+  const KeyPair owner = KeyPair::from_seed(5);
+  const Bytes enc = sample_tx(owner).serialize();
+  EXPECT_THROW(Transaction::deserialize(ByteSpan(enc.data(), enc.size() - 1)), DecodeError);
+}
+
+TEST(Transaction, SerializedSizeMatchesEncoding) {
+  const KeyPair owner = KeyPair::from_seed(6);
+  const Transaction tx = sample_tx(owner);
+  EXPECT_EQ(tx.serialized_size(), tx.serialize().size());
+  const auto cb = Transaction::coinbase(owner.pub, 1, 0);
+  EXPECT_EQ(cb.serialized_size(), cb.serialize().size());
+}
+
+TEST(Transaction, TxidChangesWithContent) {
+  const KeyPair owner = KeyPair::from_seed(7);
+  EXPECT_NE(sample_tx(owner, 1).txid(), sample_tx(owner, 2).txid());
+}
+
+TEST(Transaction, TxidCoversSignatures) {
+  // Two txs identical except for the signer have different txids (the
+  // signature and pubkey are part of the canonical encoding).
+  const Hash256 prev = Hash256::of({});
+  Transaction a({TxInput{OutPoint{prev, 0}, {}, {}}}, {TxOutput{10, KeyPair::from_seed(9).pub}});
+  Transaction b = a;
+  a.sign_all_inputs(KeyPair::from_seed(1));
+  b.sign_all_inputs(KeyPair::from_seed(2));
+  EXPECT_NE(a.txid(), b.txid());
+}
+
+TEST(Transaction, SigningPayloadExcludesSignatures) {
+  const Hash256 prev = Hash256::of({});
+  Transaction tx({TxInput{OutPoint{prev, 0}, {}, {}}}, {TxOutput{10, KeyPair::from_seed(9).pub}});
+  const Bytes before = tx.signing_payload();
+  tx.sign_all_inputs(KeyPair::from_seed(1));
+  // The payload still excludes the (now-set) signature but includes the pub.
+  Transaction resigned = tx;
+  resigned.sign_all_inputs(KeyPair::from_seed(1));
+  EXPECT_EQ(resigned.signing_payload(), tx.signing_payload());
+  EXPECT_NE(before.size(), 0u);
+}
+
+TEST(Transaction, SignedInputsVerify) {
+  const KeyPair owner = KeyPair::from_seed(11);
+  const Transaction tx = sample_tx(owner);
+  const Bytes payload = tx.signing_payload();
+  for (const TxInput& in : tx.inputs()) {
+    EXPECT_TRUE(verify(in.pub, ByteSpan(payload.data(), payload.size()), in.sig));
+    EXPECT_EQ(in.pub, owner.pub);
+  }
+}
+
+TEST(Transaction, TotalOutputSums) {
+  const KeyPair owner = KeyPair::from_seed(12);
+  EXPECT_EQ(sample_tx(owner).total_output(), 150u);
+}
+
+TEST(OutPoint, HasherAndEquality) {
+  const Hash256 h = Hash256::of({});
+  OutPoint a{h, 0}, b{h, 0}, c{h, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  OutPointHasher hasher;
+  EXPECT_EQ(hasher(a), hasher(b));
+  EXPECT_NE(hasher(a), hasher(c));
+}
+
+}  // namespace
+}  // namespace ici

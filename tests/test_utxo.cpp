@@ -1,0 +1,96 @@
+#include "chain/utxo.h"
+
+#include <gtest/gtest.h>
+
+namespace ici {
+namespace {
+
+OutPoint op(std::uint64_t salt, std::uint32_t index = 0) {
+  ByteWriter w;
+  w.u64(salt);
+  return {Hash256::of(ByteSpan(w.bytes().data(), w.bytes().size())), index};
+}
+
+TxOutput out(Amount v) { return TxOutput{v, KeyPair::from_seed(1).pub}; }
+
+TEST(UtxoSet, AddFindSpend) {
+  UtxoSet u;
+  u.add(op(1), UtxoEntry{out(10), 5, false});
+  EXPECT_TRUE(u.contains(op(1)));
+  const auto entry = u.find(op(1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->output.value, 10u);
+  EXPECT_EQ(entry->created_height, 5u);
+  EXPECT_TRUE(u.spend(op(1)));
+  EXPECT_FALSE(u.contains(op(1)));
+}
+
+TEST(UtxoSet, SpendMissingReturnsFalse) {
+  UtxoSet u;
+  EXPECT_FALSE(u.spend(op(404)));
+}
+
+TEST(UtxoSet, DuplicateAddThrows) {
+  UtxoSet u;
+  u.add(op(2), UtxoEntry{out(1), 0, false});
+  EXPECT_THROW(u.add(op(2), UtxoEntry{out(2), 0, false}), std::logic_error);
+}
+
+TEST(UtxoSet, ApplyTxSpendsAndCreates) {
+  UtxoSet u;
+  const KeyPair owner = KeyPair::from_seed(3);
+  // Seed one output, spend it into two.
+  Transaction seed({}, {TxOutput{100, owner.pub}}, 1);
+  u.apply_tx(seed, 0);
+  EXPECT_EQ(u.size(), 1u);
+
+  Transaction spend({TxInput{OutPoint{seed.txid(), 0}, {}, {}}},
+                    {TxOutput{60, owner.pub}, TxOutput{40, owner.pub}}, 2);
+  spend.sign_all_inputs(owner);
+  u.apply_tx(spend, 1);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_FALSE(u.contains(OutPoint{seed.txid(), 0}));
+  EXPECT_TRUE(u.contains(OutPoint{spend.txid(), 0}));
+  EXPECT_TRUE(u.contains(OutPoint{spend.txid(), 1}));
+}
+
+TEST(UtxoSet, ApplyTxMissingInputThrows) {
+  UtxoSet u;
+  const KeyPair owner = KeyPair::from_seed(4);
+  Transaction spend({TxInput{op(999), {}, {}}}, {TxOutput{1, owner.pub}}, 1);
+  EXPECT_THROW(u.apply_tx(spend, 0), std::logic_error);
+}
+
+TEST(UtxoSet, ValueConservedByNonCoinbaseApply) {
+  UtxoSet u;
+  const KeyPair owner = KeyPair::from_seed(5);
+  Transaction seed({}, {TxOutput{100, owner.pub}}, 1);
+  u.apply_tx(seed, 0);
+  const Amount before = u.total_value();
+
+  Transaction spend({TxInput{OutPoint{seed.txid(), 0}, {}, {}}},
+                    {TxOutput{99, owner.pub}, TxOutput{1, owner.pub}}, 2);
+  spend.sign_all_inputs(owner);
+  u.apply_tx(spend, 1);
+  EXPECT_EQ(u.total_value(), before);
+}
+
+TEST(UtxoSet, CoinbaseFlagTracked) {
+  UtxoSet u;
+  const auto cb = Transaction::coinbase(KeyPair::from_seed(6).pub, 50, 3);
+  u.apply_tx(cb, 3);
+  const auto entry = u.find(OutPoint{cb.txid(), 0});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->is_coinbase);
+}
+
+TEST(UtxoSet, CopySemantics) {
+  UtxoSet u;
+  u.add(op(7), UtxoEntry{out(5), 0, false});
+  UtxoSet copy = u;
+  EXPECT_TRUE(copy.spend(op(7)));
+  EXPECT_TRUE(u.contains(op(7)));  // original untouched
+}
+
+}  // namespace
+}  // namespace ici

@@ -1,0 +1,171 @@
+#include "chain/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace ici {
+namespace {
+
+TEST(WorkloadGenerator, GenesisFundsAllWallets) {
+  WorkloadConfig cfg;
+  cfg.wallet_count = 8;
+  cfg.genesis_outputs_per_wallet = 3;
+  WorkloadGenerator gen(cfg);
+  const Block genesis = gen.make_genesis();
+  ASSERT_EQ(genesis.txs().size(), 1u);
+  EXPECT_EQ(genesis.txs()[0].outputs().size(), 24u);
+  EXPECT_TRUE(genesis.txs()[0].is_coinbase());
+  EXPECT_TRUE(genesis.merkle_ok());
+}
+
+TEST(WorkloadGenerator, MakeGenesisTwiceThrows) {
+  WorkloadGenerator gen;
+  (void)gen.make_genesis();
+  EXPECT_THROW((void)gen.make_genesis(), std::logic_error);
+}
+
+TEST(WorkloadGenerator, NoSpendablesBeforeConfirm) {
+  WorkloadGenerator gen;
+  (void)gen.make_genesis();
+  // Genesis not confirmed yet → nothing spendable.
+  EXPECT_FALSE(gen.next_tx().has_value());
+}
+
+TEST(WorkloadGenerator, ProducesValidSignedTxsAfterConfirm) {
+  WorkloadGenerator gen;
+  const Block genesis = gen.make_genesis();
+  gen.confirm(genesis);
+  Validator v;
+  for (int i = 0; i < 50; ++i) {
+    const auto tx = gen.next_tx();
+    ASSERT_TRUE(tx.has_value());
+    EXPECT_TRUE(v.check_tx_stateless(*tx)) << i;
+  }
+}
+
+TEST(WorkloadGenerator, NeverDoubleSpends) {
+  WorkloadGenerator gen;
+  const Block genesis = gen.make_genesis();
+  gen.confirm(genesis);
+  std::unordered_set<OutPoint, OutPointHasher> spent;
+  for (const Transaction& tx : gen.batch(100)) {
+    for (const TxInput& in : tx.inputs()) {
+      EXPECT_TRUE(spent.insert(in.prevout).second) << "double spend";
+    }
+  }
+}
+
+TEST(WorkloadGenerator, MaturityDelaysSpendability) {
+  WorkloadConfig cfg;
+  cfg.wallet_count = 2;
+  cfg.genesis_outputs_per_wallet = 1;
+  cfg.maturity = 2;
+  WorkloadGenerator gen(cfg);
+  const Block genesis = gen.make_genesis();
+  gen.confirm(genesis);  // maturing: [genesis]
+  EXPECT_FALSE(gen.next_tx().has_value());
+  gen.confirm(Block::assemble(genesis.hash(), 1, 0, {Transaction::coinbase(
+                                                        KeyPair::from_seed(0).pub, 1, 1)}));
+  EXPECT_FALSE(gen.next_tx().has_value());  // still maturing
+  gen.confirm(Block::assemble(genesis.hash(), 2, 0, {Transaction::coinbase(
+                                                        KeyPair::from_seed(0).pub, 1, 2)}));
+  EXPECT_TRUE(gen.next_tx().has_value());  // genesis outputs matured
+}
+
+TEST(ChainGenerator, BuildsRequestedLength) {
+  ChainGenConfig cfg;
+  cfg.blocks = 10;
+  cfg.txs_per_block = 5;
+  ChainGenerator gen(cfg);
+  const Chain chain = gen.generate();
+  EXPECT_EQ(chain.size(), 11u);  // genesis + 10
+  EXPECT_EQ(chain.height(), 10u);
+}
+
+TEST(ChainGenerator, EveryBlockValidatesAgainstReplayedState) {
+  ChainGenConfig cfg;
+  cfg.blocks = 20;
+  cfg.txs_per_block = 10;
+  ChainGenerator gen(cfg);
+  const Chain chain = gen.generate();
+
+  // Replay: genesis outputs seed the state, then each block must pass the
+  // full validator.
+  UtxoSet utxo;
+  for (const Transaction& tx : chain.at_height(0).txs()) utxo.apply_tx(tx, 0);
+  Validator v;
+  for (std::uint64_t h = 1; h <= chain.height(); ++h) {
+    const auto r = v.validate_and_apply(chain.at_height(h), chain.at_height(h - 1).hash(), h,
+                                        utxo);
+    ASSERT_TRUE(r.valid) << "height " << h << ": " << r.reason;
+  }
+}
+
+TEST(ChainGenerator, BlocksCarryCoinbasePlusWorkload) {
+  ChainGenConfig cfg;
+  cfg.blocks = 3;
+  cfg.txs_per_block = 7;
+  ChainGenerator gen(cfg);
+  const Chain chain = gen.generate();
+  for (std::uint64_t h = 1; h <= chain.height(); ++h) {
+    const Block& b = chain.at_height(h);
+    EXPECT_TRUE(b.txs().front().is_coinbase());
+    EXPECT_EQ(b.txs().size(), 8u) << h;
+  }
+}
+
+TEST(ChainGenerator, DeterministicForSeed) {
+  ChainGenConfig cfg;
+  cfg.blocks = 5;
+  cfg.workload.seed = 777;
+  const Chain a = ChainGenerator(cfg).generate();
+  const Chain b = ChainGenerator(cfg).generate();
+  EXPECT_EQ(a.tip().hash(), b.tip().hash());
+}
+
+TEST(ChainGenerator, DifferentSeedsDifferentChains) {
+  ChainGenConfig a_cfg, b_cfg;
+  a_cfg.blocks = b_cfg.blocks = 3;
+  a_cfg.workload.seed = 1;
+  b_cfg.workload.seed = 2;
+  EXPECT_NE(ChainGenerator(a_cfg).generate().tip().hash(),
+            ChainGenerator(b_cfg).generate().tip().hash());
+}
+
+TEST(Chain, TotalBytesAccumulates) {
+  ChainGenConfig cfg;
+  cfg.blocks = 4;
+  const Chain chain = ChainGenerator(cfg).generate();
+  std::uint64_t manual = 0;
+  for (const Block& b : chain.blocks()) manual += b.serialized_size();
+  EXPECT_EQ(chain.total_bytes(), manual);
+}
+
+TEST(Chain, LookupByHashAndHeight) {
+  ChainGenConfig cfg;
+  cfg.blocks = 3;
+  const Chain chain = ChainGenerator(cfg).generate();
+  const Block& b2 = chain.at_height(2);
+  EXPECT_EQ(chain.by_hash(b2.hash()), &b2);
+  EXPECT_TRUE(chain.contains(b2.hash()));
+  EXPECT_EQ(chain.by_hash(Hash256{}), nullptr);
+  EXPECT_THROW((void)chain.at_height(99), std::out_of_range);
+}
+
+TEST(Chain, AppendRejectsNonExtending) {
+  ChainGenConfig cfg;
+  cfg.blocks = 2;
+  ChainGenerator gen(cfg);
+  Chain chain = gen.generate();
+  const Block bad = Block::assemble(Hash256{}, chain.height() + 1, 0,
+                                    {Transaction::coinbase(KeyPair::from_seed(0).pub, 1, 1)});
+  EXPECT_THROW(chain.append(bad), std::logic_error);
+}
+
+TEST(Chain, GenesisMustBeHeightZero) {
+  const Block not_genesis = Block::assemble(Hash256{}, 3, 0,
+                                            {Transaction::coinbase(KeyPair::from_seed(0).pub, 1, 1)});
+  EXPECT_THROW(Chain c(not_genesis), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ici
