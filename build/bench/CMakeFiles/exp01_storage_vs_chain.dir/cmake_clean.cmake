@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp01_storage_vs_chain.dir/exp01_storage_vs_chain.cpp.o"
+  "CMakeFiles/exp01_storage_vs_chain.dir/exp01_storage_vs_chain.cpp.o.d"
+  "exp01_storage_vs_chain"
+  "exp01_storage_vs_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp01_storage_vs_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp01_storage_vs_chain.
+# This may be replaced when dependencies are built.

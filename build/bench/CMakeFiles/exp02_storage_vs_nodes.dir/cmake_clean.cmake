@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp02_storage_vs_nodes.dir/exp02_storage_vs_nodes.cpp.o"
+  "CMakeFiles/exp02_storage_vs_nodes.dir/exp02_storage_vs_nodes.cpp.o.d"
+  "exp02_storage_vs_nodes"
+  "exp02_storage_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp02_storage_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp02_storage_vs_nodes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp02_storage_vs_nodes.
+# This may be replaced when dependencies are built.

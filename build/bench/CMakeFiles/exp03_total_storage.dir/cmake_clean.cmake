@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp03_total_storage.dir/exp03_total_storage.cpp.o"
+  "CMakeFiles/exp03_total_storage.dir/exp03_total_storage.cpp.o.d"
+  "exp03_total_storage"
+  "exp03_total_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp03_total_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp04_comm_overhead.dir/exp04_comm_overhead.cpp.o"
+  "CMakeFiles/exp04_comm_overhead.dir/exp04_comm_overhead.cpp.o.d"
+  "exp04_comm_overhead"
+  "exp04_comm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp04_comm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

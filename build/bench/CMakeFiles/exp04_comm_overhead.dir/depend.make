@@ -1,0 +1,2 @@
+# Empty dependencies file for exp04_comm_overhead.
+# This may be replaced when dependencies are built.

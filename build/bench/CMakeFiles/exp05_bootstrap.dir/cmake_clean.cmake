@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp05_bootstrap.dir/exp05_bootstrap.cpp.o"
+  "CMakeFiles/exp05_bootstrap.dir/exp05_bootstrap.cpp.o.d"
+  "exp05_bootstrap"
+  "exp05_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp05_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

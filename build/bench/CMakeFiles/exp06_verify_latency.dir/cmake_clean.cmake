@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp06_verify_latency.dir/exp06_verify_latency.cpp.o"
+  "CMakeFiles/exp06_verify_latency.dir/exp06_verify_latency.cpp.o.d"
+  "exp06_verify_latency"
+  "exp06_verify_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp06_verify_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp06_verify_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp07_availability.dir/exp07_availability.cpp.o"
+  "CMakeFiles/exp07_availability.dir/exp07_availability.cpp.o.d"
+  "exp07_availability"
+  "exp07_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp07_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp08_headline_ratio.dir/exp08_headline_ratio.cpp.o"
+  "CMakeFiles/exp08_headline_ratio.dir/exp08_headline_ratio.cpp.o.d"
+  "exp08_headline_ratio"
+  "exp08_headline_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp08_headline_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

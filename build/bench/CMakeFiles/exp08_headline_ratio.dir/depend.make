@@ -1,0 +1,2 @@
+# Empty dependencies file for exp08_headline_ratio.
+# This may be replaced when dependencies are built.

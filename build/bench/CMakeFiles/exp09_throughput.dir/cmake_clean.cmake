@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp09_throughput.dir/exp09_throughput.cpp.o"
+  "CMakeFiles/exp09_throughput.dir/exp09_throughput.cpp.o.d"
+  "exp09_throughput"
+  "exp09_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp09_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_clustering_ablation.dir/exp10_clustering_ablation.cpp.o"
+  "CMakeFiles/exp10_clustering_ablation.dir/exp10_clustering_ablation.cpp.o.d"
+  "exp10_clustering_ablation"
+  "exp10_clustering_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_clustering_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_retrieval.dir/exp11_retrieval.cpp.o"
+  "CMakeFiles/exp11_retrieval.dir/exp11_retrieval.cpp.o.d"
+  "exp11_retrieval"
+  "exp11_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_balance.dir/exp12_balance.cpp.o"
+  "CMakeFiles/exp12_balance.dir/exp12_balance.cpp.o.d"
+  "exp12_balance"
+  "exp12_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp12_balance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_micro.dir/exp13_micro.cpp.o"
+  "CMakeFiles/exp13_micro.dir/exp13_micro.cpp.o.d"
+  "exp13_micro"
+  "exp13_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp13_micro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_erasure.dir/exp14_erasure.cpp.o"
+  "CMakeFiles/exp14_erasure.dir/exp14_erasure.cpp.o.d"
+  "exp14_erasure"
+  "exp14_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp14_erasure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp15_byzantine.dir/exp15_byzantine.cpp.o"
+  "CMakeFiles/exp15_byzantine.dir/exp15_byzantine.cpp.o.d"
+  "exp15_byzantine"
+  "exp15_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp15_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

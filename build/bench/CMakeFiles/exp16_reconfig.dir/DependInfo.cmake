@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp16_reconfig.cpp" "bench/CMakeFiles/exp16_reconfig.dir/exp16_reconfig.cpp.o" "gcc" "bench/CMakeFiles/exp16_reconfig.dir/exp16_reconfig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ici_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_spv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

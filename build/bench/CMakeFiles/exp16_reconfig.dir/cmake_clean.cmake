@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp16_reconfig.dir/exp16_reconfig.cpp.o"
+  "CMakeFiles/exp16_reconfig.dir/exp16_reconfig.cpp.o.d"
+  "exp16_reconfig"
+  "exp16_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp16_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

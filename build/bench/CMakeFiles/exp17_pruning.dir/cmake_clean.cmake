@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp17_pruning.dir/exp17_pruning.cpp.o"
+  "CMakeFiles/exp17_pruning.dir/exp17_pruning.cpp.o.d"
+  "exp17_pruning"
+  "exp17_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp17_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

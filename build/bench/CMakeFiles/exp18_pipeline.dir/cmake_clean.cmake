@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp18_pipeline.dir/exp18_pipeline.cpp.o"
+  "CMakeFiles/exp18_pipeline.dir/exp18_pipeline.cpp.o.d"
+  "exp18_pipeline"
+  "exp18_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp18_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

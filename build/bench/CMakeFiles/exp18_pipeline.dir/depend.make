@@ -1,0 +1,2 @@
+# Empty dependencies file for exp18_pipeline.
+# This may be replaced when dependencies are built.

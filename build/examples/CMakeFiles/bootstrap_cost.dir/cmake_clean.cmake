@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_cost.dir/bootstrap_cost.cpp.o"
+  "CMakeFiles/bootstrap_cost.dir/bootstrap_cost.cpp.o.d"
+  "bootstrap_cost"
+  "bootstrap_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

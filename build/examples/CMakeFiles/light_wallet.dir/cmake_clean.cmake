@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/light_wallet.dir/light_wallet.cpp.o"
+  "CMakeFiles/light_wallet.dir/light_wallet.cpp.o.d"
+  "light_wallet"
+  "light_wallet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/light_wallet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

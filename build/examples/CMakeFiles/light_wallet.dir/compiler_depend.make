@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for light_wallet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for light_wallet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_baseline.dir/baseline/fullrep.cpp.o"
+  "CMakeFiles/ici_baseline.dir/baseline/fullrep.cpp.o.d"
+  "CMakeFiles/ici_baseline.dir/baseline/pruned.cpp.o"
+  "CMakeFiles/ici_baseline.dir/baseline/pruned.cpp.o.d"
+  "CMakeFiles/ici_baseline.dir/baseline/rapidchain.cpp.o"
+  "CMakeFiles/ici_baseline.dir/baseline/rapidchain.cpp.o.d"
+  "libici_baseline.a"
+  "libici_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ici_baseline.
+# This may be replaced when dependencies are built.

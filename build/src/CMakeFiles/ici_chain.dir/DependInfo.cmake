@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/CMakeFiles/ici_chain.dir/chain/block.cpp.o" "gcc" "src/CMakeFiles/ici_chain.dir/chain/block.cpp.o.d"
+  "/root/repo/src/chain/chain.cpp" "src/CMakeFiles/ici_chain.dir/chain/chain.cpp.o" "gcc" "src/CMakeFiles/ici_chain.dir/chain/chain.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/CMakeFiles/ici_chain.dir/chain/mempool.cpp.o" "gcc" "src/CMakeFiles/ici_chain.dir/chain/mempool.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "src/CMakeFiles/ici_chain.dir/chain/transaction.cpp.o" "gcc" "src/CMakeFiles/ici_chain.dir/chain/transaction.cpp.o.d"
+  "/root/repo/src/chain/utxo.cpp" "src/CMakeFiles/ici_chain.dir/chain/utxo.cpp.o" "gcc" "src/CMakeFiles/ici_chain.dir/chain/utxo.cpp.o.d"
+  "/root/repo/src/chain/validator.cpp" "src/CMakeFiles/ici_chain.dir/chain/validator.cpp.o" "gcc" "src/CMakeFiles/ici_chain.dir/chain/validator.cpp.o.d"
+  "/root/repo/src/chain/workload.cpp" "src/CMakeFiles/ici_chain.dir/chain/workload.cpp.o" "gcc" "src/CMakeFiles/ici_chain.dir/chain/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ici_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_chain.dir/chain/block.cpp.o"
+  "CMakeFiles/ici_chain.dir/chain/block.cpp.o.d"
+  "CMakeFiles/ici_chain.dir/chain/chain.cpp.o"
+  "CMakeFiles/ici_chain.dir/chain/chain.cpp.o.d"
+  "CMakeFiles/ici_chain.dir/chain/mempool.cpp.o"
+  "CMakeFiles/ici_chain.dir/chain/mempool.cpp.o.d"
+  "CMakeFiles/ici_chain.dir/chain/transaction.cpp.o"
+  "CMakeFiles/ici_chain.dir/chain/transaction.cpp.o.d"
+  "CMakeFiles/ici_chain.dir/chain/utxo.cpp.o"
+  "CMakeFiles/ici_chain.dir/chain/utxo.cpp.o.d"
+  "CMakeFiles/ici_chain.dir/chain/validator.cpp.o"
+  "CMakeFiles/ici_chain.dir/chain/validator.cpp.o.d"
+  "CMakeFiles/ici_chain.dir/chain/workload.cpp.o"
+  "CMakeFiles/ici_chain.dir/chain/workload.cpp.o.d"
+  "libici_chain.a"
+  "libici_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

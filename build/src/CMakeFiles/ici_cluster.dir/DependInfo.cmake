@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/assignment.cpp" "src/CMakeFiles/ici_cluster.dir/cluster/assignment.cpp.o" "gcc" "src/CMakeFiles/ici_cluster.dir/cluster/assignment.cpp.o.d"
+  "/root/repo/src/cluster/clusterer.cpp" "src/CMakeFiles/ici_cluster.dir/cluster/clusterer.cpp.o" "gcc" "src/CMakeFiles/ici_cluster.dir/cluster/clusterer.cpp.o.d"
+  "/root/repo/src/cluster/directory.cpp" "src/CMakeFiles/ici_cluster.dir/cluster/directory.cpp.o" "gcc" "src/CMakeFiles/ici_cluster.dir/cluster/directory.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/CMakeFiles/ici_cluster.dir/cluster/kmeans.cpp.o" "gcc" "src/CMakeFiles/ici_cluster.dir/cluster/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/node_info.cpp" "src/CMakeFiles/ici_cluster.dir/cluster/node_info.cpp.o" "gcc" "src/CMakeFiles/ici_cluster.dir/cluster/node_info.cpp.o.d"
+  "/root/repo/src/cluster/repair.cpp" "src/CMakeFiles/ici_cluster.dir/cluster/repair.cpp.o" "gcc" "src/CMakeFiles/ici_cluster.dir/cluster/repair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ici_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

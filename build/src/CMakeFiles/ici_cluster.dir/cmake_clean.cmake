@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_cluster.dir/cluster/assignment.cpp.o"
+  "CMakeFiles/ici_cluster.dir/cluster/assignment.cpp.o.d"
+  "CMakeFiles/ici_cluster.dir/cluster/clusterer.cpp.o"
+  "CMakeFiles/ici_cluster.dir/cluster/clusterer.cpp.o.d"
+  "CMakeFiles/ici_cluster.dir/cluster/directory.cpp.o"
+  "CMakeFiles/ici_cluster.dir/cluster/directory.cpp.o.d"
+  "CMakeFiles/ici_cluster.dir/cluster/kmeans.cpp.o"
+  "CMakeFiles/ici_cluster.dir/cluster/kmeans.cpp.o.d"
+  "CMakeFiles/ici_cluster.dir/cluster/node_info.cpp.o"
+  "CMakeFiles/ici_cluster.dir/cluster/node_info.cpp.o.d"
+  "CMakeFiles/ici_cluster.dir/cluster/repair.cpp.o"
+  "CMakeFiles/ici_cluster.dir/cluster/repair.cpp.o.d"
+  "libici_cluster.a"
+  "libici_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

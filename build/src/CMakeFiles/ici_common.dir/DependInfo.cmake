@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/ici_common.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/ici_common.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/flags.cpp" "src/CMakeFiles/ici_common.dir/common/flags.cpp.o" "gcc" "src/CMakeFiles/ici_common.dir/common/flags.cpp.o.d"
+  "/root/repo/src/common/hex.cpp" "src/CMakeFiles/ici_common.dir/common/hex.cpp.o" "gcc" "src/CMakeFiles/ici_common.dir/common/hex.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/ici_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/ici_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/ici_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/ici_common.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/ici_common.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/ici_common.dir/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

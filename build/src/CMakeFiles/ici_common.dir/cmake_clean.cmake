@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/ici_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/ici_common.dir/common/flags.cpp.o"
+  "CMakeFiles/ici_common.dir/common/flags.cpp.o.d"
+  "CMakeFiles/ici_common.dir/common/hex.cpp.o"
+  "CMakeFiles/ici_common.dir/common/hex.cpp.o.d"
+  "CMakeFiles/ici_common.dir/common/rng.cpp.o"
+  "CMakeFiles/ici_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/ici_common.dir/common/stats.cpp.o"
+  "CMakeFiles/ici_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/ici_common.dir/common/table.cpp.o"
+  "CMakeFiles/ici_common.dir/common/table.cpp.o.d"
+  "libici_common.a"
+  "libici_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

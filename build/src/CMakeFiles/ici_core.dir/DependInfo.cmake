@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ici/bootstrap.cpp" "src/CMakeFiles/ici_core.dir/ici/bootstrap.cpp.o" "gcc" "src/CMakeFiles/ici_core.dir/ici/bootstrap.cpp.o.d"
+  "/root/repo/src/ici/codec.cpp" "src/CMakeFiles/ici_core.dir/ici/codec.cpp.o" "gcc" "src/CMakeFiles/ici_core.dir/ici/codec.cpp.o.d"
+  "/root/repo/src/ici/config.cpp" "src/CMakeFiles/ici_core.dir/ici/config.cpp.o" "gcc" "src/CMakeFiles/ici_core.dir/ici/config.cpp.o.d"
+  "/root/repo/src/ici/messages.cpp" "src/CMakeFiles/ici_core.dir/ici/messages.cpp.o" "gcc" "src/CMakeFiles/ici_core.dir/ici/messages.cpp.o.d"
+  "/root/repo/src/ici/network.cpp" "src/CMakeFiles/ici_core.dir/ici/network.cpp.o" "gcc" "src/CMakeFiles/ici_core.dir/ici/network.cpp.o.d"
+  "/root/repo/src/ici/node.cpp" "src/CMakeFiles/ici_core.dir/ici/node.cpp.o" "gcc" "src/CMakeFiles/ici_core.dir/ici/node.cpp.o.d"
+  "/root/repo/src/ici/retrieval.cpp" "src/CMakeFiles/ici_core.dir/ici/retrieval.cpp.o" "gcc" "src/CMakeFiles/ici_core.dir/ici/retrieval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ici_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_spv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ici_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

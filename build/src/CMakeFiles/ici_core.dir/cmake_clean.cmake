@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_core.dir/ici/bootstrap.cpp.o"
+  "CMakeFiles/ici_core.dir/ici/bootstrap.cpp.o.d"
+  "CMakeFiles/ici_core.dir/ici/codec.cpp.o"
+  "CMakeFiles/ici_core.dir/ici/codec.cpp.o.d"
+  "CMakeFiles/ici_core.dir/ici/config.cpp.o"
+  "CMakeFiles/ici_core.dir/ici/config.cpp.o.d"
+  "CMakeFiles/ici_core.dir/ici/messages.cpp.o"
+  "CMakeFiles/ici_core.dir/ici/messages.cpp.o.d"
+  "CMakeFiles/ici_core.dir/ici/network.cpp.o"
+  "CMakeFiles/ici_core.dir/ici/network.cpp.o.d"
+  "CMakeFiles/ici_core.dir/ici/node.cpp.o"
+  "CMakeFiles/ici_core.dir/ici/node.cpp.o.d"
+  "CMakeFiles/ici_core.dir/ici/retrieval.cpp.o"
+  "CMakeFiles/ici_core.dir/ici/retrieval.cpp.o.d"
+  "libici_core.a"
+  "libici_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

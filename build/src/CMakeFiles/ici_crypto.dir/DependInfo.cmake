@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hash.cpp" "src/CMakeFiles/ici_crypto.dir/crypto/hash.cpp.o" "gcc" "src/CMakeFiles/ici_crypto.dir/crypto/hash.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/ici_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/ici_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/CMakeFiles/ici_crypto.dir/crypto/merkle.cpp.o" "gcc" "src/CMakeFiles/ici_crypto.dir/crypto/merkle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/ici_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/ici_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sig.cpp" "src/CMakeFiles/ici_crypto.dir/crypto/sig.cpp.o" "gcc" "src/CMakeFiles/ici_crypto.dir/crypto/sig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ici_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_crypto.dir/crypto/hash.cpp.o"
+  "CMakeFiles/ici_crypto.dir/crypto/hash.cpp.o.d"
+  "CMakeFiles/ici_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/ici_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/ici_crypto.dir/crypto/merkle.cpp.o"
+  "CMakeFiles/ici_crypto.dir/crypto/merkle.cpp.o.d"
+  "CMakeFiles/ici_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/ici_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/ici_crypto.dir/crypto/sig.cpp.o"
+  "CMakeFiles/ici_crypto.dir/crypto/sig.cpp.o.d"
+  "libici_crypto.a"
+  "libici_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

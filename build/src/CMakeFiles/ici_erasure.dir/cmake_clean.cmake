@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_erasure.dir/erasure/gf256.cpp.o"
+  "CMakeFiles/ici_erasure.dir/erasure/gf256.cpp.o.d"
+  "CMakeFiles/ici_erasure.dir/erasure/rs.cpp.o"
+  "CMakeFiles/ici_erasure.dir/erasure/rs.cpp.o.d"
+  "libici_erasure.a"
+  "libici_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_metrics.dir/metrics/counters.cpp.o"
+  "CMakeFiles/ici_metrics.dir/metrics/counters.cpp.o.d"
+  "CMakeFiles/ici_metrics.dir/metrics/registry.cpp.o"
+  "CMakeFiles/ici_metrics.dir/metrics/registry.cpp.o.d"
+  "libici_metrics.a"
+  "libici_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/churn.cpp" "src/CMakeFiles/ici_sim.dir/sim/churn.cpp.o" "gcc" "src/CMakeFiles/ici_sim.dir/sim/churn.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/ici_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/ici_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/ici_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/ici_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/ici_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/ici_sim.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ici_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

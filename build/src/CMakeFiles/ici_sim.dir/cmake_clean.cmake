@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_sim.dir/sim/churn.cpp.o"
+  "CMakeFiles/ici_sim.dir/sim/churn.cpp.o.d"
+  "CMakeFiles/ici_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/ici_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/ici_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/ici_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/ici_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/ici_sim.dir/sim/simulator.cpp.o.d"
+  "libici_sim.a"
+  "libici_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_spv.dir/spv/proof.cpp.o"
+  "CMakeFiles/ici_spv.dir/spv/proof.cpp.o.d"
+  "libici_spv.a"
+  "libici_spv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_spv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

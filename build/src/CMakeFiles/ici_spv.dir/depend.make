@@ -1,0 +1,2 @@
+# Empty dependencies file for ici_spv.
+# This may be replaced when dependencies are built.

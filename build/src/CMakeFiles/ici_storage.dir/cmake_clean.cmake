@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_storage.dir/storage/block_store.cpp.o"
+  "CMakeFiles/ici_storage.dir/storage/block_store.cpp.o.d"
+  "CMakeFiles/ici_storage.dir/storage/shard_store.cpp.o"
+  "CMakeFiles/ici_storage.dir/storage/shard_store.cpp.o.d"
+  "CMakeFiles/ici_storage.dir/storage/storage_meter.cpp.o"
+  "CMakeFiles/ici_storage.dir/storage/storage_meter.cpp.o.d"
+  "libici_storage.a"
+  "libici_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assignment.dir/test_assignment.cpp.o"
+  "CMakeFiles/test_assignment.dir/test_assignment.cpp.o.d"
+  "test_assignment"
+  "test_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

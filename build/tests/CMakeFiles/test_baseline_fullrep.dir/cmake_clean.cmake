@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_fullrep.dir/test_baseline_fullrep.cpp.o"
+  "CMakeFiles/test_baseline_fullrep.dir/test_baseline_fullrep.cpp.o.d"
+  "test_baseline_fullrep"
+  "test_baseline_fullrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_fullrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

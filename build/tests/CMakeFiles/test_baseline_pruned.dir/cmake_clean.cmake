@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_pruned.dir/test_baseline_pruned.cpp.o"
+  "CMakeFiles/test_baseline_pruned.dir/test_baseline_pruned.cpp.o.d"
+  "test_baseline_pruned"
+  "test_baseline_pruned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_pruned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_rapidchain.dir/test_baseline_rapidchain.cpp.o"
+  "CMakeFiles/test_baseline_rapidchain.dir/test_baseline_rapidchain.cpp.o.d"
+  "test_baseline_rapidchain"
+  "test_baseline_rapidchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_rapidchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

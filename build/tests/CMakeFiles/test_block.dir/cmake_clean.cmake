@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block.dir/test_block.cpp.o"
+  "CMakeFiles/test_block.dir/test_block.cpp.o.d"
+  "test_block"
+  "test_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_store.dir/test_block_store.cpp.o"
+  "CMakeFiles/test_block_store.dir/test_block_store.cpp.o.d"
+  "test_block_store"
+  "test_block_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bytes.dir/test_bytes.cpp.o"
+  "CMakeFiles/test_bytes.dir/test_bytes.cpp.o.d"
+  "test_bytes"
+  "test_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clusterer.dir/test_clusterer.cpp.o"
+  "CMakeFiles/test_clusterer.dir/test_clusterer.cpp.o.d"
+  "test_clusterer"
+  "test_clusterer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clusterer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

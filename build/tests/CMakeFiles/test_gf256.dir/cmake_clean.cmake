@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf256.dir/test_gf256.cpp.o"
+  "CMakeFiles/test_gf256.dir/test_gf256.cpp.o.d"
+  "test_gf256"
+  "test_gf256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash.dir/test_hash.cpp.o"
+  "CMakeFiles/test_hash.dir/test_hash.cpp.o.d"
+  "test_hash"
+  "test_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmac.dir/test_hmac.cpp.o"
+  "CMakeFiles/test_hmac.dir/test_hmac.cpp.o.d"
+  "test_hmac"
+  "test_hmac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

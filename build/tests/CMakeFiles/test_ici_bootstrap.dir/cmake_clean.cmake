@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_bootstrap.dir/test_ici_bootstrap.cpp.o"
+  "CMakeFiles/test_ici_bootstrap.dir/test_ici_bootstrap.cpp.o.d"
+  "test_ici_bootstrap"
+  "test_ici_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

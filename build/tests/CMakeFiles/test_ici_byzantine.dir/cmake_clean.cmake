@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_byzantine.dir/test_ici_byzantine.cpp.o"
+  "CMakeFiles/test_ici_byzantine.dir/test_ici_byzantine.cpp.o.d"
+  "test_ici_byzantine"
+  "test_ici_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

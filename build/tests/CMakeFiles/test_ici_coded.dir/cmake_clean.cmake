@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_coded.dir/test_ici_coded.cpp.o"
+  "CMakeFiles/test_ici_coded.dir/test_ici_coded.cpp.o.d"
+  "test_ici_coded"
+  "test_ici_coded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_coded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_config.dir/test_ici_config.cpp.o"
+  "CMakeFiles/test_ici_config.dir/test_ici_config.cpp.o.d"
+  "test_ici_config"
+  "test_ici_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

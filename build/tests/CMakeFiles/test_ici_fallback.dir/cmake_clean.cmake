@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_fallback.dir/test_ici_fallback.cpp.o"
+  "CMakeFiles/test_ici_fallback.dir/test_ici_fallback.cpp.o.d"
+  "test_ici_fallback"
+  "test_ici_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_locate.dir/test_ici_locate.cpp.o"
+  "CMakeFiles/test_ici_locate.dir/test_ici_locate.cpp.o.d"
+  "test_ici_locate"
+  "test_ici_locate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_locate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_network.dir/test_ici_network.cpp.o"
+  "CMakeFiles/test_ici_network.dir/test_ici_network.cpp.o.d"
+  "test_ici_network"
+  "test_ici_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

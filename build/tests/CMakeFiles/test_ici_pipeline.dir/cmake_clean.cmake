@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_pipeline.dir/test_ici_pipeline.cpp.o"
+  "CMakeFiles/test_ici_pipeline.dir/test_ici_pipeline.cpp.o.d"
+  "test_ici_pipeline"
+  "test_ici_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_properties.dir/test_ici_properties.cpp.o"
+  "CMakeFiles/test_ici_properties.dir/test_ici_properties.cpp.o.d"
+  "test_ici_properties"
+  "test_ici_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

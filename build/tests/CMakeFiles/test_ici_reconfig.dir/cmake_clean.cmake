@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ici_reconfig.dir/test_ici_reconfig.cpp.o"
+  "CMakeFiles/test_ici_reconfig.dir/test_ici_reconfig.cpp.o.d"
+  "test_ici_reconfig"
+  "test_ici_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ici_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

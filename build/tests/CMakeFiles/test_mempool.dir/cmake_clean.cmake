@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mempool.dir/test_mempool.cpp.o"
+  "CMakeFiles/test_mempool.dir/test_mempool.cpp.o.d"
+  "test_mempool"
+  "test_mempool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mempool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merkle.dir/test_merkle.cpp.o"
+  "CMakeFiles/test_merkle.dir/test_merkle.cpp.o.d"
+  "test_merkle"
+  "test_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rs.dir/test_rs.cpp.o"
+  "CMakeFiles/test_rs.dir/test_rs.cpp.o.d"
+  "test_rs"
+  "test_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

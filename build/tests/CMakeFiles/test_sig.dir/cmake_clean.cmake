@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sig.dir/test_sig.cpp.o"
+  "CMakeFiles/test_sig.dir/test_sig.cpp.o.d"
+  "test_sig"
+  "test_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

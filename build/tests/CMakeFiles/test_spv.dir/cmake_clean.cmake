@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spv.dir/test_spv.cpp.o"
+  "CMakeFiles/test_spv.dir/test_spv.cpp.o.d"
+  "test_spv"
+  "test_spv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transaction.dir/test_transaction.cpp.o"
+  "CMakeFiles/test_transaction.dir/test_transaction.cpp.o.d"
+  "test_transaction"
+  "test_transaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

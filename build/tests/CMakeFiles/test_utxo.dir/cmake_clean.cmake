@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utxo.dir/test_utxo.cpp.o"
+  "CMakeFiles/test_utxo.dir/test_utxo.cpp.o.d"
+  "test_utxo"
+  "test_utxo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utxo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validator.dir/test_validator.cpp.o"
+  "CMakeFiles/test_validator.dir/test_validator.cpp.o.d"
+  "test_validator"
+  "test_validator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icisim.dir/icisim.cpp.o"
+  "CMakeFiles/icisim.dir/icisim.cpp.o.d"
+  "icisim"
+  "icisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

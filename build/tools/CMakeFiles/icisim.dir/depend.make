@@ -1,0 +1,2 @@
+# Empty dependencies file for icisim.
+# This may be replaced when dependencies are built.
