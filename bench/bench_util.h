@@ -4,21 +4,67 @@
 // (see DESIGN.md experiment index) through ici::Table.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "baseline/fullrep.h"
 #include "baseline/rapidchain.h"
 #include "chain/workload.h"
 #include "common/table.h"
 #include "ici/network.h"
+#include "obs/bench_report.h"
 #include "storage/storage_meter.h"
 
 namespace ici::bench {
 
 inline void print_experiment_header(const std::string& id, const std::string& title) {
   std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+/// Command-line contract shared by every experiment binary: `--smoke` runs a
+/// tiny configuration (CTest exercises the BENCH_*.json path this way) and
+/// `--help` documents it. Unknown flags abort so typos cannot silently run
+/// the full-size configuration.
+struct BenchOptions {
+  bool smoke = false;
+};
+
+inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view name) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << name << " [--smoke]\n"
+                << "  --smoke  tiny configuration for CI (same tables, same BENCH_" << name
+                << ".json schema)\n"
+                << "Writes BENCH_" << name << ".json (schema ici-bench-v1) into the current\n"
+                << "directory, or $ICI_BENCH_DIR when set.\n";
+      std::exit(0);
+    } else {
+      std::cerr << name << ": unknown flag " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// Captures the global span aggregates and writes the artifact; every bench
+/// main() ends with this. A bad $ICI_BENCH_DIR must not look like a crash
+/// after the tables already printed, so write failures exit 1 cleanly.
+inline void finish_report(obs::BenchReport& report) {
+  report.capture_spans();
+  try {
+    const std::string path = report.write();
+    std::cout << "\nwrote " << path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(1);
+  }
 }
 
 /// Builds a valid chain with the given shape (deterministic for a seed).

@@ -12,11 +12,22 @@
 using namespace ici;
 using namespace ici::bench;
 
-int main() {
-  constexpr std::size_t kNodes = 240;
-  constexpr std::size_t kIciClusters = 12;     // m = 20
-  constexpr std::size_t kRcCommittees = 5;     // shard = D/5
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, "exp01_storage_vs_chain");
+  const std::size_t kNodes = opts.smoke ? 40 : 240;
+  const std::size_t kIciClusters = opts.smoke ? 2 : 12;  // m = 20
+  const std::size_t kRcCommittees = opts.smoke ? 2 : 5;  // shard = D/k_rc
   constexpr std::size_t kTxsPerBlock = 40;
+  constexpr std::uint64_t kSeed = 42;
+  const std::vector<std::size_t> block_counts =
+      opts.smoke ? std::vector<std::size_t>{20} : std::vector<std::size_t>{100, 250, 500, 1000};
+
+  obs::BenchReport report("exp01_storage_vs_chain", kSeed);
+  report.set_smoke(opts.smoke);
+  report.set_config("nodes", kNodes);
+  report.set_config("ici_clusters", kIciClusters);
+  report.set_config("rapidchain_committees", kRcCommittees);
+  report.set_config("txs_per_block", kTxsPerBlock);
 
   print_experiment_header("E01", "per-node storage vs chain length (blocks)");
   std::cout << "N=" << kNodes << "  ICI: k=" << kIciClusters << " (m="
@@ -26,8 +37,8 @@ int main() {
   Table table({"blocks", "ledger D", "full-rep/node", "rapidchain/node", "ici/node",
                "ici vs rc", "ici vs full"});
 
-  for (std::size_t blocks : {100u, 250u, 500u, 1000u}) {
-    const Chain chain = make_chain(blocks, kTxsPerBlock);
+  for (const std::size_t blocks : block_counts) {
+    const Chain chain = make_chain(blocks, kTxsPerBlock, kSeed);
 
     const auto fullrep = make_fullrep_preloaded(chain, kNodes);
     const auto rapidchain = make_rapidchain_preloaded(chain, kNodes, kRcCommittees);
@@ -40,6 +51,15 @@ int main() {
     table.row({std::to_string(blocks), format_bytes(static_cast<double>(chain.total_bytes())),
                format_bytes(fr), format_bytes(rc), format_bytes(ic),
                format_double(ic / rc * 100, 1) + "%", format_double(ic / fr * 100, 1) + "%"});
+
+    report.add_row("blocks=" + std::to_string(blocks))
+        .set("blocks", blocks)
+        .set("ledger_bytes", chain.total_bytes())
+        .set("fullrep_node_bytes", fr)
+        .set("rapidchain_node_bytes", rc)
+        .set("ici_node_bytes", ic)
+        .set("ici_vs_rapidchain_pct", ic / rc * 100)
+        .set("ici_vs_fullrep_pct", ic / fr * 100);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: all linear in blocks; ici/node ≈ 25% of rapidchain/node "
@@ -47,5 +67,6 @@ int main() {
                "Note: ICI nodes keep ALL headers (every row includes them), so the printed "
                "ratio sits a few points above 25%; on body bytes alone it is exactly "
                "k_rc/m = 25% (see E08).\n";
+  finish_report(report);
   return 0;
 }

@@ -9,19 +9,31 @@
 using namespace ici;
 using namespace ici::bench;
 
-int main() {
-  constexpr std::size_t kBlocks = 300;
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, "exp03_total_storage");
+  const std::size_t kBlocks = opts.smoke ? 20 : 300;
   constexpr std::size_t kTxsPerBlock = 40;
   constexpr std::size_t kClusterSize = 20;
   constexpr std::size_t kCommitteeSize = 80;
+  constexpr std::uint64_t kSeed = 42;
+  const std::vector<std::size_t> sizes =
+      opts.smoke ? std::vector<std::size_t>{40, 80} : std::vector<std::size_t>{80, 160, 320, 640};
 
-  print_experiment_header("E03", "total network storage vs N (fixed 300-block ledger)");
-  const Chain chain = make_chain(kBlocks, kTxsPerBlock);
+  obs::BenchReport report("exp03_total_storage", kSeed);
+  report.set_smoke(opts.smoke);
+  report.set_config("blocks", kBlocks);
+  report.set_config("txs_per_block", kTxsPerBlock);
+  report.set_config("ici_cluster_size", kClusterSize);
+  report.set_config("rapidchain_committee_size", kCommitteeSize);
+
+  print_experiment_header("E03", "total network storage vs N (fixed ledger)");
+  const Chain chain = make_chain(kBlocks, kTxsPerBlock, kSeed);
   std::cout << "ledger D = " << format_bytes(static_cast<double>(chain.total_bytes()))
             << "\n\n";
+  report.set_config("ledger_bytes", chain.total_bytes());
 
   Table table({"N", "full-rep total", "rapidchain total", "ici total", "ici/full"});
-  for (std::size_t n : {80u, 160u, 320u, 640u}) {
+  for (const std::size_t n : sizes) {
     const std::size_t k_ici = n / kClusterSize;
     const std::size_t k_rc = std::max<std::size_t>(1, n / kCommitteeSize);
 
@@ -36,9 +48,17 @@ int main() {
 
     table.row({std::to_string(n), format_bytes(fr), format_bytes(rc), format_bytes(ic),
                format_double(ic / fr * 100, 1) + "%"});
+
+    report.add_row("N=" + std::to_string(n))
+        .set("nodes", n)
+        .set("fullrep_total_bytes", fr)
+        .set("rapidchain_total_bytes", rc)
+        .set("ici_total_bytes", ic)
+        .set("ici_vs_fullrep_pct", ic / fr * 100);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: full-rep grows N·D; ici grows only with the number of "
                "clusters (N/m)·D — the gap widens linearly with N.\n";
+  finish_report(report);
   return 0;
 }

@@ -33,11 +33,22 @@ Sample measure(Rig& rig, int blocks) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, "exp04_comm_overhead");
   constexpr std::size_t kTxs = 60;
-  constexpr int kBlocks = 5;
+  const int kBlocks = opts.smoke ? 2 : 5;
   constexpr std::size_t kClusterSize = 16;
   constexpr std::size_t kCommitteeSize = 24;
+  constexpr std::uint64_t kSeed = 42;
+  const std::vector<std::size_t> sizes =
+      opts.smoke ? std::vector<std::size_t>{48} : std::vector<std::size_t>{48, 96, 192};
+
+  obs::BenchReport report("exp04_comm_overhead", kSeed);
+  report.set_smoke(opts.smoke);
+  report.set_config("txs_per_block", kTxs);
+  report.set_config("blocks_averaged", kBlocks);
+  report.set_config("ici_cluster_size", kClusterSize);
+  report.set_config("rapidchain_committee_size", kCommitteeSize);
 
   print_experiment_header("E04", "communication per disseminated block vs N");
   std::cout << "txs/block=" << kTxs << ", averaged over " << kBlocks
@@ -45,15 +56,15 @@ int main() {
             << kCommitteeSize << "\n\n";
 
   Table table({"N", "system", "bytes/block", "msgs/block", "body-equivalents"});
-  for (std::size_t n : {48u, 96u, 192u}) {
-    LiveFullRepRig fullrep(n, kTxs);
+  for (const std::size_t n : sizes) {
+    LiveFullRepRig fullrep(n, kTxs, kSeed);
     const Sample fr = measure(fullrep, kBlocks);
     const double body = static_cast<double>(fullrep.chain->tip().serialized_size());
 
-    LiveRapidChainRig rapidchain(n, std::max<std::size_t>(1, n / kCommitteeSize), kTxs);
+    LiveRapidChainRig rapidchain(n, std::max<std::size_t>(1, n / kCommitteeSize), kTxs, kSeed);
     const Sample rc = measure(rapidchain, kBlocks);
 
-    LiveIciRig ici(n, n / kClusterSize, kTxs);
+    LiveIciRig ici(n, n / kClusterSize, kTxs, /*replication=*/1, kSeed);
     const Sample ic = measure(ici, kBlocks);
 
     table.row({std::to_string(n), "full-rep", format_bytes(fr.bytes_per_block),
@@ -62,11 +73,24 @@ int main() {
                format_double(rc.msgs_per_block, 0), format_double(rc.bytes_per_block / body, 1)});
     table.row({std::to_string(n), "ici", format_bytes(ic.bytes_per_block),
                format_double(ic.msgs_per_block, 0), format_double(ic.bytes_per_block / body, 1)});
+
+    for (const auto& [system, s] :
+         {std::pair<const char*, const Sample*>{"fullrep", &fr},
+          std::pair<const char*, const Sample*>{"rapidchain", &rc},
+          std::pair<const char*, const Sample*>{"ici", &ic}}) {
+      report.add_row("N=" + std::to_string(n) + "/" + system)
+          .set("nodes", n)
+          .set("system", system)
+          .set("bytes_per_block", s->bytes_per_block)
+          .set("msgs_per_block", s->msgs_per_block)
+          .set("body_equivalents", s->bytes_per_block / body);
+    }
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: full-rep ships ≈N body-equivalents per block; ici ships "
                "≈(3.75+r) per cluster (N/m clusters) — several times less, with the gap "
                "growing in cluster size m. RapidChain only stores 1/k of blocks per "
                "committee but floods chunks with redundancy d within it.\n";
+  finish_report(report);
   return 0;
 }

@@ -11,11 +11,22 @@
 using namespace ici;
 using namespace ici::bench;
 
-int main() {
-  constexpr std::size_t kNodes = 120;
-  constexpr std::size_t kIciClusters = 6;   // m = 20
-  constexpr std::size_t kRcCommittees = 5;  // shard = D/5
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, "exp05_bootstrap");
+  const std::size_t kNodes = opts.smoke ? 40 : 120;
+  const std::size_t kIciClusters = opts.smoke ? 2 : 6;  // m = 20
+  const std::size_t kRcCommittees = opts.smoke ? 2 : 5;
   constexpr std::size_t kTxs = 40;
+  constexpr std::uint64_t kSeed = 42;
+  const std::vector<std::size_t> block_counts =
+      opts.smoke ? std::vector<std::size_t>{25} : std::vector<std::size_t>{100, 200, 400};
+
+  obs::BenchReport report("exp05_bootstrap", kSeed);
+  report.set_smoke(opts.smoke);
+  report.set_config("nodes", kNodes);
+  report.set_config("ici_clusters", kIciClusters);
+  report.set_config("rapidchain_committees", kRcCommittees);
+  report.set_config("txs_per_block", kTxs);
 
   print_experiment_header("E05", "new-node bootstrap cost vs chain length");
   std::cout << "N=" << kNodes << "; ICI m=" << kNodes / kIciClusters
@@ -24,8 +35,8 @@ int main() {
   Table table({"blocks", "system", "bytes downloaded", "sim time (s)", "bodies fetched",
                "vs full-rep"});
 
-  for (std::size_t blocks : {100u, 200u, 400u}) {
-    const Chain chain = make_chain(blocks, kTxs);
+  for (const std::size_t blocks : block_counts) {
+    const Chain chain = make_chain(blocks, kTxs, kSeed);
 
     auto fullrep = make_fullrep_preloaded(chain, kNodes);
     const auto fr = fullrep->bootstrap({50, 50});
@@ -38,12 +49,18 @@ int main() {
 
     const auto row = [&](const char* name, std::uint64_t bytes, sim::SimTime t,
                          std::size_t bodies) {
+      const double vs_full =
+          static_cast<double>(bytes) / static_cast<double>(fr.bytes_downloaded) * 100;
       table.row({std::to_string(blocks), name, format_bytes(static_cast<double>(bytes)),
                  format_double(static_cast<double>(t) / 1e6, 2), std::to_string(bodies),
-                 format_double(static_cast<double>(bytes) /
-                                   static_cast<double>(fr.bytes_downloaded) * 100,
-                               1) +
-                     "%"});
+                 format_double(vs_full, 1) + "%"});
+      report.add_row("blocks=" + std::to_string(blocks) + "/" + name)
+          .set("blocks", blocks)
+          .set("system", name)
+          .set("bytes_downloaded", bytes)
+          .set("elapsed_us", t)
+          .set("bodies_fetched", bodies)
+          .set("vs_fullrep_pct", vs_full);
     };
     row("full-rep", fr.bytes_downloaded, fr.elapsed_us, fr.bodies_fetched);
     row("rapidchain", rc.bytes_downloaded, rc.elapsed_us, rc.bodies_fetched);
@@ -53,5 +70,6 @@ int main() {
   std::cout << "\nExpected shape: full-rep downloads the whole ledger; rapidchain one shard "
                "(D/k); ici only headers + ~1/m of bodies — the cheapest join, and the gap "
                "grows with chain length.\n";
+  finish_report(report);
   return 0;
 }

@@ -65,9 +65,17 @@ std::vector<NodeInfo> cluster_members(std::size_t m, bool heterogeneous) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, "exp12_balance");
   constexpr std::size_t kMembers = 20;
-  constexpr std::size_t kBlocks = 4000;
+  const std::size_t kBlocks = opts.smoke ? 400 : 4000;
+  constexpr std::uint64_t kSeed = 42;
+
+  obs::BenchReport report("exp12_balance", kSeed);
+  report.set_smoke(opts.smoke);
+  report.set_config("cluster_members", kMembers);
+  report.set_config("blocks", kBlocks);
+  report.set_config("replication", 1);
 
   print_experiment_header("E12", "intra-cluster storage balance and churn disruption");
   std::cout << "cluster of " << kMembers << " members, " << kBlocks
@@ -84,6 +92,12 @@ int main() {
     table.row({name, hetero ? "heterogeneous" : "uniform", format_double(r.cv, 3),
                format_double(r.max_over_mean, 2),
                format_double(r.moved_on_departure * 100, 1) + "%"});
+    report.add_row(std::string(name) + "/" + (hetero ? "heterogeneous" : "uniform"))
+        .set("assigner", name)
+        .set("capacity", hetero ? "heterogeneous" : "uniform")
+        .set("load_cv", r.cv)
+        .set("max_over_mean", r.max_over_mean)
+        .set("moved_on_departure_pct", r.moved_on_departure * 100);
   };
   add_row("rendezvous", rendezvous, false);
   add_row("rendezvous-weighted", weighted, false);
@@ -110,5 +124,6 @@ int main() {
   std::cout << "\nExpected shape: rendezvous CV near round-robin's (both balanced), but "
                "round-robin reshuffles nearly everything on departure while rendezvous "
                "moves ~0% of unaffected blocks; weighted tracks capacity within noise.\n";
+  finish_report(report);
   return 0;
 }

@@ -1,9 +1,17 @@
 // E13 [R] — Substrate micro-benchmarks (google-benchmark).
 //
 // Throughput of the primitives every experiment leans on: SHA-256, Merkle
-// trees, transaction validation, block serialization, k-means clustering,
-// and rendezvous assignment.
+// trees, transaction validation, block serialization, message codec,
+// k-means clustering, and rendezvous assignment. A custom main (instead of
+// benchmark_main) adds the repo-wide --smoke/--help contract and writes
+// each benchmark's timing into BENCH_exp13_micro.json alongside the
+// console table; other google-benchmark flags pass through unchanged.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <string_view>
+#include <vector>
 
 #include "chain/validator.h"
 #include "chain/workload.h"
@@ -13,6 +21,8 @@
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 #include "erasure/rs.h"
+#include "ici/codec.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -88,6 +98,27 @@ void BM_BlockSerializeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockSerializeRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
 
+void BM_MessageCodecRoundTrip(benchmark::State& state) {
+  ChainGenConfig cfg;
+  cfg.blocks = 1;
+  cfg.txs_per_block = static_cast<std::size_t>(state.range(0));
+  const Chain chain = ChainGenerator(cfg).generate();
+  const Block& block = chain.at_height(1);
+  core::SliceMsg msg;
+  msg.header = block.header();
+  msg.block_hash = block.hash();
+  msg.first_index = 0;
+  msg.total_txs = static_cast<std::uint32_t>(block.txs().size());
+  msg.txs = block.txs();
+  for (auto _ : state) {
+    const Bytes enc = core::encode_message(msg);
+    benchmark::DoNotOptimize(core::decode_message(ByteSpan(enc.data(), enc.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msg.wire_size() + 1));
+}
+BENCHMARK(BM_MessageCodecRoundTrip)->Arg(10)->Arg(100);
+
 void BM_KMeans(benchmark::State& state) {
   Rng rng(2);
   std::vector<sim::Coord> pts;
@@ -150,4 +181,75 @@ void BM_ChainGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_ChainGeneration)->Arg(10)->Arg(100);
 
+// Console output stays exactly google-benchmark's; this shim additionally
+// keeps every per-iteration run so main() can serialize them as JSON rows.
+class CollectingReporter final : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Run> runs;
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) runs.push_back(run);
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "exp13_micro: substrate micro-benchmarks (google-benchmark)\n\n"
+                   "  --smoke   run each benchmark briefly (--benchmark_min_time=0.01)\n"
+                   "  --help    this message\n\n"
+                   "Any --benchmark_* flag is forwarded to google-benchmark.\n"
+                   "Writes BENCH_exp13_micro.json to the working directory\n"
+                   "(or $ICI_BENCH_DIR if set).\n";
+      return 0;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time_flag);
+
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 2;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  obs::BenchReport report("exp13_micro", /*seed=*/42);
+  report.set_smoke(smoke);
+  report.set_config("benchmark_min_time_s", smoke ? 0.01 : 0.5);
+  for (const auto& run : reporter.runs) {
+    if (run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) continue;
+    if (run.error_occurred) continue;
+    auto& row = report.add_row(run.benchmark_name());
+    row.set("iterations", run.iterations);
+    if (run.iterations > 0) {
+      row.set("real_ns_per_iter",
+              run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9);
+      row.set("cpu_ns_per_iter",
+              run.cpu_accumulated_time / static_cast<double>(run.iterations) * 1e9);
+    }
+    for (const auto& [name, counter] : run.counters) {
+      row.set(name, counter.value);
+    }
+  }
+  report.capture_spans();
+  try {
+    const std::string path = report.write();
+    std::cout << "\nwrote " << path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -9,11 +9,22 @@
 using namespace ici;
 using namespace ici::bench;
 
-int main() {
-  constexpr std::size_t kNodes = 90;
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, "exp15_byzantine");
+  const std::size_t kNodes = opts.smoke ? 30 : 90;
   constexpr std::size_t kClusters = 3;
   constexpr std::size_t kTxs = 30;
-  constexpr int kBlocks = 6;
+  const int kBlocks = opts.smoke ? 2 : 6;
+  constexpr std::uint64_t kSeed = 42;
+  const std::vector<double> fractions =
+      opts.smoke ? std::vector<double>{0.0, 0.4} : std::vector<double>{0.0, 0.1, 0.2, 0.30, 0.4, 0.5};
+
+  obs::BenchReport report("exp15_byzantine", kSeed);
+  report.set_smoke(opts.smoke);
+  report.set_config("nodes", kNodes);
+  report.set_config("clusters", kClusters);
+  report.set_config("txs_per_block", kTxs);
+  report.set_config("blocks", kBlocks);
 
   print_experiment_header("E15", "commit success vs byzantine (reject-voting) fraction");
   std::cout << "N=" << kNodes << ", k=" << kClusters << " (m=" << kNodes / kClusters
@@ -22,8 +33,8 @@ int main() {
   Table table({"byzantine fraction", "blocks committed", "commit rate", "mean latency (ms)",
                "rejected/aborted rounds"});
 
-  for (double fraction : {0.0, 0.1, 0.2, 0.30, 0.4, 0.5}) {
-    LiveIciRig rig(kNodes, kClusters, kTxs);
+  for (const double fraction : fractions) {
+    LiveIciRig rig(kNodes, kClusters, kTxs, /*replication=*/1, kSeed);
     auto& dir = rig.net->directory();
     for (std::size_t c = 0; c < dir.cluster_count(); ++c) {
       const auto& members = dir.members(c);
@@ -49,10 +60,18 @@ int main() {
                format_double(100.0 * committed / kBlocks, 0) + "%",
                committed > 0 ? format_double(latency.mean() / 1000, 1) : "-",
                std::to_string(failures)});
+
+    report.add_row("byzantine=" + format_double(fraction, 2))
+        .set("byzantine_fraction", fraction)
+        .set("blocks_committed", committed)
+        .set("commit_rate", static_cast<double>(committed) / kBlocks)
+        .set("commit_mean_us", committed > 0 ? latency.mean() : 0.0)
+        .set("rejected_or_aborted_rounds", failures);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: 100% commit rate while the byzantine fraction stays below "
                "the 1/3 quorum margin; a cliff to 0% once rejectors can veto the 2/3 "
                "approval threshold in any cluster.\n";
+  finish_report(report);
   return 0;
 }

@@ -12,11 +12,22 @@
 using namespace ici;
 using namespace ici::bench;
 
-int main() {
-  constexpr std::size_t kNodes = 120;
-  constexpr std::size_t kClusters = 6;  // m = 20
-  constexpr std::size_t kWindow = 128;
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, "exp17_pruning");
+  const std::size_t kNodes = opts.smoke ? 40 : 120;
+  const std::size_t kClusters = opts.smoke ? 2 : 6;  // m = 20
+  const std::size_t kWindow = opts.smoke ? 32 : 128;
   constexpr std::size_t kTxs = 40;
+  constexpr std::uint64_t kSeed = 42;
+  const std::vector<std::size_t> block_counts =
+      opts.smoke ? std::vector<std::size_t>{50} : std::vector<std::size_t>{100, 250, 500, 1000};
+
+  obs::BenchReport report("exp17_pruning", kSeed);
+  report.set_smoke(opts.smoke);
+  report.set_config("nodes", kNodes);
+  report.set_config("clusters", kClusters);
+  report.set_config("prune_window", kWindow);
+  report.set_config("txs_per_block", kTxs);
 
   print_experiment_header("E17", "collaborative storage vs pruning (window=" +
                                      std::to_string(kWindow) + " blocks)");
@@ -27,8 +38,8 @@ int main() {
   Table table({"blocks", "ici bytes/node", "pruned bytes/node", "ici history served",
                "pruned history served"});
 
-  for (std::size_t blocks : {100u, 250u, 500u, 1000u}) {
-    const Chain chain = make_chain(blocks, kTxs);
+  for (const std::size_t blocks : block_counts) {
+    const Chain chain = make_chain(blocks, kTxs, kSeed);
 
     const auto ici = make_ici_preloaded(chain, kNodes, kClusters);
 
@@ -49,11 +60,20 @@ int main() {
     const double ici_state_per_node = static_cast<double>(replayed.size()) * (36 + 8 + 32) *
                                       static_cast<double>(kClusters) /
                                       static_cast<double>(kNodes);
-    table.row({std::to_string(blocks),
-               format_bytes(ici->storage_snapshot().mean_bytes + ici_state_per_node),
-               format_bytes(static_cast<double>(pruned.per_node_bytes())),
-               format_double(ici->availability() * 100, 1) + "%",
-               format_double(pruned.historical_availability(chain) * 100, 1) + "%"});
+    const double ici_bytes = ici->storage_snapshot().mean_bytes + ici_state_per_node;
+    const double pruned_bytes = static_cast<double>(pruned.per_node_bytes());
+    const double ici_avail = ici->availability();
+    const double pruned_avail = pruned.historical_availability(chain);
+    table.row({std::to_string(blocks), format_bytes(ici_bytes), format_bytes(pruned_bytes),
+               format_double(ici_avail * 100, 1) + "%",
+               format_double(pruned_avail * 100, 1) + "%"});
+
+    report.add_row("blocks=" + std::to_string(blocks))
+        .set("blocks", blocks)
+        .set("ici_bytes_per_node", ici_bytes)
+        .set("pruned_bytes_per_node", pruned_bytes)
+        .set("ici_history_served", ici_avail)
+        .set("pruned_history_served", pruned_avail);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: both bound per-node storage, but pruning's servable "
@@ -61,5 +81,6 @@ int main() {
                "ICIStrategy serves 100% of history from every cluster at a comparable "
                "per-node footprint (the pruned node's snapshot also grows with the UTXO "
                "set).\n";
+  finish_report(report);
   return 0;
 }

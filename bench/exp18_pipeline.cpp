@@ -10,11 +10,22 @@
 using namespace ici;
 using namespace ici::bench;
 
-int main() {
-  constexpr std::size_t kNodes = 90;
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, "exp18_pipeline");
+  const std::size_t kNodes = opts.smoke ? 30 : 90;
   constexpr std::size_t kClusters = 3;
   constexpr std::size_t kTxs = 40;
-  constexpr int kBlocks = 8;
+  const int kBlocks = opts.smoke ? 4 : 8;
+  constexpr std::uint64_t kSeed = 42;
+  const std::vector<int> depths =
+      opts.smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+
+  obs::BenchReport report("exp18_pipeline", kSeed);
+  report.set_smoke(opts.smoke);
+  report.set_config("nodes", kNodes);
+  report.set_config("clusters", kClusters);
+  report.set_config("txs_per_block", kTxs);
+  report.set_config("blocks", kBlocks);
 
   print_experiment_header("E18", "pipelined dissemination throughput vs depth");
   std::cout << "N=" << kNodes << ", k=" << kClusters << ", " << kBlocks
@@ -24,7 +35,7 @@ int main() {
   Table table({"pipeline depth", "wall time (ms)", "blocks/s", "speedup vs depth 1"});
   double baseline_ms = 0;
 
-  for (int depth : {1, 2, 4, 8}) {
+  for (const int depth : depths) {
     ChainGenConfig ccfg;
     ccfg.txs_per_block = kTxs;
     ccfg.workload.maturity = kBlocks;
@@ -66,13 +77,22 @@ int main() {
     }
 
     if (depth == 1) baseline_ms = total_ms;
+    const double blocks_per_s = committed > 0 && total_ms > 0 ? committed * 1000.0 / total_ms : 0;
+    const double speedup = total_ms > 0 && baseline_ms > 0 ? baseline_ms / total_ms : 0;
     table.row({std::to_string(depth), format_double(total_ms, 1),
-               format_double(committed > 0 ? committed * 1000.0 / total_ms : 0, 2),
-               format_double(baseline_ms / total_ms, 2) + "x"});
+               format_double(blocks_per_s, 2), format_double(speedup, 2) + "x"});
+
+    report.add_row("depth=" + std::to_string(depth))
+        .set("pipeline_depth", depth)
+        .set("sim_time_ms", total_ms)
+        .set("blocks_committed", committed)
+        .set("blocks_per_s", blocks_per_s)
+        .set("speedup_vs_depth1", speedup);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: throughput grows with depth while the proposer uplink and "
                "head fan-out have slack, then saturates — the verification rounds of "
                "consecutive blocks overlap almost entirely.\n";
+  finish_report(report);
   return 0;
 }

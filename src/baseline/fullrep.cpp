@@ -6,6 +6,7 @@
 
 #include "cluster/node_info.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace ici::baseline {
 
@@ -171,7 +172,9 @@ sim::SimTime FullRepNetwork::disseminate_and_settle(const Block& block) {
 
   const Spread& spread = spreads_.at(hash);
   if (spread.finished == 0) return 0;  // did not reach everyone
-  return spread.finished - spread.started;
+  const sim::SimTime latency = spread.finished - spread.started;
+  obs::TraceSink::global().record_sim("gossip/inv", static_cast<double>(latency));
+  return latency;
 }
 
 void FullRepNetwork::note_stored(sim::NodeId id, const Hash256& hash) {

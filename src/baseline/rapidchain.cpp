@@ -6,6 +6,7 @@
 
 #include "cluster/node_info.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace ici::baseline {
 
@@ -180,7 +181,9 @@ sim::SimTime RapidChainNetwork::disseminate_and_settle(const Block& block) {
   pending_.erase(hash);
   const Spread& spread = spreads_.at(hash);
   if (spread.finished == 0) return 0;
-  return spread.finished - spread.started;
+  const sim::SimTime latency = spread.finished - spread.started;
+  obs::TraceSink::global().record_sim("gossip/ida", static_cast<double>(latency));
+  return latency;
 }
 
 std::shared_ptr<const Block> RapidChainNetwork::pending_block(const Hash256& hash) const {
@@ -241,6 +244,8 @@ RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord
   });
   sim_.run();
   report.elapsed_us = sim_.now() - started;
+  obs::TraceSink::global().record_sim("bootstrap/shard_sync",
+                                      static_cast<double>(report.elapsed_us));
   report.bytes_downloaded = net_->traffic(id).bytes_received;
   return report;
 }

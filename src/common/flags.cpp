@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -116,11 +117,30 @@ bool FlagParser::parse(int argc, const char* const* argv, std::string* error) {
 }
 
 std::string FlagParser::usage() const {
-  std::ostringstream os;
-  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  static const auto type_name = [](Type t) -> const char* {
+    switch (t) {
+      case Type::kUint: return "uint";
+      case Type::kDouble: return "float";
+      case Type::kString: return "string";
+      case Type::kBool: return "bool";
+    }
+    return "";
+  };
+
+  std::size_t width = 0;
   for (const Flag& f : flags_) {
-    os << "  --" << f.name << "  " << f.help << " (default: " << f.default_text << ")\n";
+    width = std::max(width, f.name.size() + std::string(type_name(f.type)).size() + 5);
   }
+
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\n"
+     << "Usage: " << program_ << " [--flag value | --flag=value]...\n\nFlags:\n";
+  for (const Flag& f : flags_) {
+    const std::string head = "--" + f.name + " <" + type_name(f.type) + ">";
+    os << "  " << head << std::string(width - head.size() + 2, ' ') << f.help
+       << " (default: " << f.default_text << ")\n";
+  }
+  os << "  --help" << std::string(width - 4, ' ') << "print this message and exit\n";
   return os.str();
 }
 

@@ -1,0 +1,111 @@
+#pragma once
+
+// Minimal JSON support with no external dependencies: a streaming writer
+// used by the bench-report emitter, plus a small recursive-descent parser
+// used by tests (and tools) to round-trip emitted documents.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ici {
+
+// Escapes a string for embedding inside a JSON string literal (quotes not
+// included). Control characters become \u00XX.
+std::string json_escape(std::string_view s);
+
+// Streaming writer with an explicit object/array stack. Misuse (value
+// without key inside an object, unbalanced end_*) throws std::logic_error
+// so emitter bugs fail loudly in tests instead of producing bad artifacts.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // key+value shorthand for the common object-member case.
+  template <typename T>
+  JsonWriter& member(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+  JsonWriter& member_null(std::string_view name) {
+    key(name);
+    return null();
+  }
+
+  // Finished document. Throws if objects/arrays are still open.
+  const std::string& str() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;     // parallel to stack_: no comma needed yet
+  bool key_pending_ = false;    // key() emitted, awaiting its value
+  bool done_ = false;           // a complete top-level value exists
+};
+
+// Parsed JSON document. Objects preserve member order; lookups are linear
+// (documents here are small bench artifacts).
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses a complete document; throws std::runtime_error (with an offset)
+  // on malformed input or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // Array access.
+  const std::vector<JsonValue>& items() const;
+  std::size_t size() const;
+  const JsonValue& at(std::size_t index) const;
+
+  // Object access. find() returns nullptr when the key is absent.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  const JsonValue* find(std::string_view key) const;
+  const JsonValue& at(std::string_view key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace ici

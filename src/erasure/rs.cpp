@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "erasure/gf256.h"
+#include "obs/trace.h"
 
 namespace ici::erasure {
 
@@ -82,6 +83,7 @@ std::size_t ReedSolomon::shard_size(std::size_t payload_size) const {
 }
 
 std::vector<Shard> ReedSolomon::encode(ByteSpan payload) const {
+  const obs::Span span("encode/rs");
   const std::size_t per_shard = shard_size(payload.size());
 
   // Frame: u32 length || payload || zero padding.
@@ -107,6 +109,7 @@ std::vector<Shard> ReedSolomon::encode(ByteSpan payload) const {
 }
 
 std::optional<Bytes> ReedSolomon::reconstruct(const std::vector<Shard>& shards) const {
+  const obs::Span span("decode/rs");
   // Pick the first `data_` distinct, in-range shards of consistent size.
   std::vector<const Shard*> chosen;
   std::vector<bool> seen(total_shards(), false);

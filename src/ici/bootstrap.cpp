@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace ici::core {
 
 BootstrapReport Bootstrapper::join(IciNetwork& net, sim::Coord coord) {
@@ -46,6 +48,10 @@ BootstrapReport Bootstrapper::join(IciNetwork& net, sim::Coord coord) {
     report.elapsed_us = net.simulator().now() - started;
   });
   net.settle();
+  if (report.complete) {
+    obs::TraceSink::global().record_sim("bootstrap/join",
+                                        static_cast<double>(report.elapsed_us));
+  }
   const sim::NodeTraffic& traffic = net.network().traffic(joiner);
   report.bytes_downloaded = traffic.bytes_received;
   report.bytes_uploaded = traffic.bytes_sent;

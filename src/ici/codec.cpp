@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace ici::core {
 
 namespace {
@@ -372,6 +374,7 @@ std::shared_ptr<IciMessage> decode_body(MsgKind kind, ByteReader& r) {
 }  // namespace
 
 Bytes encode_message(const IciMessage& msg) {
+  const obs::Span span("codec/encode");
   ByteWriter w(msg.wire_size() + 1);
   w.u8(static_cast<std::uint8_t>(msg.kind()));
   switch (msg.kind()) {
@@ -437,6 +440,7 @@ Bytes encode_message(const IciMessage& msg) {
 }
 
 std::shared_ptr<IciMessage> decode_message(ByteSpan data) {
+  const obs::Span span("codec/decode");
   ByteReader r(data);
   const auto kind = static_cast<MsgKind>(r.u8());
   if (kind > MsgKind::kTxLocateResponse) throw DecodeError("decode_message: unknown kind");

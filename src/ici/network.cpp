@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace ici::core {
 
 using cluster::NodeId;
@@ -49,9 +51,14 @@ IciNetwork::IciNetwork(IciNetworkConfig cfg) : cfg_(std::move(cfg)) {
     if (assigned != info.id) throw std::logic_error("node id mismatch during registration");
     nodes_.push_back(std::move(node));
   }
+
+  // The newest network drives the trace sink's sim clock; the token keeps a
+  // dying network from yanking a newer one's clock in multi-network benches.
+  trace_clock_token_ =
+      obs::TraceSink::global().set_sim_clock([this] { return sim_.now(); });
 }
 
-IciNetwork::~IciNetwork() = default;
+IciNetwork::~IciNetwork() { obs::TraceSink::global().clear_sim_clock(trace_clock_token_); }
 
 std::vector<NodeId> IciNetwork::storers_of(const Hash256& hash, std::uint64_t height,
                                            std::size_t cluster, bool online_only) const {
@@ -175,7 +182,9 @@ sim::SimTime IciNetwork::disseminate_and_settle(const Block& block) {
   sim_.run();
   const auto it = progress_.find(block.hash());
   if (it == progress_.end() || it->second.fully_committed_at == 0) return 0;
-  return it->second.fully_committed_at - it->second.proposed_at;
+  const sim::SimTime latency = it->second.fully_committed_at - it->second.proposed_at;
+  obs::TraceSink::global().record_sim("disseminate/full_commit", static_cast<double>(latency));
+  return latency;
 }
 
 void IciNetwork::note_commit(std::size_t cluster, const Block& block) {

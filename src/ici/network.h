@@ -198,6 +198,7 @@ class IciNetwork {
   std::unordered_map<Hash256, CommitProgress, Hash256Hasher> progress_;
   std::uint64_t proposer_cursor_ = 0;
   bool genesis_done_ = false;
+  std::uint64_t trace_clock_token_ = 0;
 };
 
 }  // namespace ici::core

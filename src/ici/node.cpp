@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "ici/network.h"
+#include "obs/trace.h"
 
 namespace ici::core {
 
@@ -165,16 +166,19 @@ void IciNode::start_cluster_verification(std::shared_ptr<const Block> block) {
   // Structural checks the head performs on the whole block: Merkle
   // consistency and no duplicate outpoints across transactions (cross-slice
   // conflicts individual members cannot see).
-  if (!block->merkle_ok()) {
-    ctx_.metrics().counter("verify.head_rejected").inc();
-    return;
-  }
-  std::unordered_set<OutPoint, OutPointHasher> spent;
-  for (const Transaction& tx : block->txs()) {
-    for (const TxInput& in : tx.inputs()) {
-      if (!spent.insert(in.prevout).second) {
-        ctx_.metrics().counter("verify.head_rejected").inc();
-        return;
+  {
+    const obs::Span span("verify/head_checks");
+    if (!block->merkle_ok()) {
+      ctx_.metrics().counter("verify.head_rejected").inc();
+      return;
+    }
+    std::unordered_set<OutPoint, OutPointHasher> spent;
+    for (const Transaction& tx : block->txs()) {
+      for (const TxInput& in : tx.inputs()) {
+        if (!spent.insert(in.prevout).second) {
+          ctx_.metrics().counter("verify.head_rejected").inc();
+          return;
+        }
       }
     }
   }
@@ -473,8 +477,10 @@ void IciNode::commit_block(const Hash256& block_hash) {
   }
 
   ctx_.metrics().counter("commit.count").inc();
+  const sim::SimTime verify_elapsed = ctx_.simulator().now() - pv.started;
   ctx_.metrics().distribution("commit.cluster_latency_us")
-      .add(static_cast<double>(ctx_.simulator().now() - pv.started));
+      .add(static_cast<double>(verify_elapsed));
+  obs::TraceSink::global().record_sim("verify/commit", static_cast<double>(verify_elapsed));
   ctx_.note_commit(my_cluster, block);
   verifying_.erase(it);
 }
@@ -495,6 +501,7 @@ void IciNode::handle_slice(sim::NodeId from, const SliceMsg& msg) {
   ps.block_hash = msg.block_hash;
   ps.head = from;
   ps.txs = msg.txs;
+  ps.received = ctx_.simulator().now();
 
   const std::size_t my_cluster = ctx_.directory().cluster_of(id_);
 
@@ -594,6 +601,12 @@ void IciNode::finish_slice(const Hash256& block_hash) {
   PendingSlice& ps = it->second;
   ps.done = true;
 
+  // CPU cost of the tx checks is the wall span; the sim-time sample below
+  // additionally covers the distributed lookup round-trips.
+  const obs::Span span("verify/slice");
+  obs::TraceSink::global().record_sim(
+      "verify/slice", static_cast<double>(ctx_.simulator().now() - ps.received));
+
   bool approve = true;
   for (const Transaction& tx : ps.txs) {
     bool tx_ok = static_cast<bool>(validator_.check_tx_stateless(tx));
@@ -690,6 +703,7 @@ void IciNode::handle_block_response(sim::NodeId from, const BlockResponseMsg& ms
     pf.done = true;
     const sim::SimTime elapsed = ctx_.simulator().now() - pf.started;
     ctx_.metrics().distribution("retrieval.latency_us").add(static_cast<double>(elapsed));
+    obs::TraceSink::global().record_sim("retrieval/fetch", static_cast<double>(elapsed));
     if (pf.cb) pf.cb(msg.block, elapsed);
     fetches_.erase(it);
     return;
@@ -918,6 +932,7 @@ void IciNode::finish_coded_fetch(std::uint64_t request_id) {
   const sim::SimTime elapsed = ctx_.simulator().now() - pf.started;
   if (result) {
     ctx_.metrics().distribution("retrieval.latency_us").add(static_cast<double>(elapsed));
+    obs::TraceSink::global().record_sim("retrieval/coded_fetch", static_cast<double>(elapsed));
     if (pf.store_index) {
       // Repair: re-encode and keep only the assigned shard.
       const Bytes payload = result->serialize();
@@ -1124,6 +1139,7 @@ void IciNode::start_bootstrap(sim::NodeId head, std::function<void(std::size_t)>
   if (bootstrap_) throw std::logic_error("bootstrap already running");
   bootstrap_ = BootstrapState{};
   bootstrap_->on_done = std::move(on_done);
+  bootstrap_->started = ctx_.simulator().now();
   auto req = std::make_shared<HeadersRequestMsg>();
   req->from_height = 0;
   ctx_.network().send(id_, head, std::move(req));
@@ -1133,6 +1149,9 @@ void IciNode::handle_headers_response(sim::NodeId from, const HeadersResponseMsg
   (void)from;
   if (!bootstrap_ || bootstrap_->headers_synced) return;
   bootstrap_->headers_synced = true;
+  bootstrap_->headers_done = ctx_.simulator().now();
+  obs::TraceSink::global().record_sim(
+      "bootstrap/headers", static_cast<double>(bootstrap_->headers_done - bootstrap_->started));
 
   const std::size_t my_cluster = ctx_.directory().cluster_of(id_);
   struct Wanted {
@@ -1166,6 +1185,7 @@ void IciNode::handle_headers_response(sim::NodeId from, const HeadersResponseMsg
 
   if (wanted.empty()) {
     auto done = std::move(bootstrap_->on_done);
+    obs::TraceSink::global().record_sim("bootstrap/fetch", 0.0);
     bootstrap_.reset();
     if (done) done(0);
     return;
@@ -1181,6 +1201,9 @@ void IciNode::handle_headers_response(sim::NodeId from, const HeadersResponseMsg
     if (--bootstrap_->outstanding == 0) {
       auto done = std::move(bootstrap_->on_done);
       const std::size_t fetched = bootstrap_->bodies_fetched;
+      obs::TraceSink::global().record_sim(
+          "bootstrap/fetch",
+          static_cast<double>(ctx_.simulator().now() - bootstrap_->headers_done));
       bootstrap_.reset();
       if (done) done(fetched);
     }

@@ -166,6 +166,7 @@ class IciNode final : public sim::INode {
     /// First invalid tx found — sent as the rejection's challenge.
     std::optional<Hash256> offender;
     std::unordered_map<OutPoint, std::optional<TxOutput>, OutPointHasher> resolved;
+    sim::SimTime received = 0;  // slice arrival, for verify-latency tracing
   };
   void handle_slice(sim::NodeId from, const SliceMsg& msg);
   void finish_slice(const Hash256& block_hash);
@@ -249,6 +250,8 @@ class IciNode final : public sim::INode {
     std::size_t outstanding = 0;
     std::size_t bodies_fetched = 0;
     bool headers_synced = false;
+    sim::SimTime started = 0;       // join start, for bootstrap tracing
+    sim::SimTime headers_done = 0;  // headers phase end / fetch phase start
   };
 
   std::unordered_map<Hash256, PendingVerify, Hash256Hasher> verifying_;

@@ -1,4 +1,15 @@
 #include "metrics/counters.h"
 
-// Counter is header-only today; this TU anchors the library target.
-namespace ici::metrics {}
+namespace ici::metrics {
+
+DistributionSummary summarize(const Distribution& dist) {
+  DistributionSummary s;
+  s.count = static_cast<std::uint64_t>(dist.count());
+  if (s.count == 0) return s;
+  s.total = dist.sum();
+  s.p50 = dist.p50();
+  s.p99 = dist.p99();
+  return s;
+}
+
+}  // namespace ici::metrics

@@ -23,4 +23,15 @@ class Counter {
 /// Latency/size distribution; thin alias with a domain name.
 using Distribution = ici::Histogram;
 
+/// Compact export of a distribution for machine-readable reports: the four
+/// fields every bench artifact carries per label (count/total/p50/p99).
+struct DistributionSummary {
+  std::uint64_t count = 0;
+  double total = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] DistributionSummary summarize(const Distribution& dist);
+
 }  // namespace ici::metrics

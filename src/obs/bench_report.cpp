@@ -1,0 +1,162 @@
+#include "obs/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/json.h"
+#include "metrics/registry.h"
+
+namespace ici::obs {
+
+namespace {
+
+void emit_value(JsonWriter& w, const BenchReport::Value& v) {
+  std::visit([&w](const auto& x) { w.value(x); }, v);
+}
+
+void emit_summary(JsonWriter& w, const metrics::DistributionSummary& s) {
+  w.begin_object();
+  w.member("count", s.count);
+  w.member("total", s.total);
+  w.member("p50", s.p50);
+  w.member("p99", s.p99);
+  w.end_object();
+}
+
+}  // namespace
+
+BenchReport::Row& BenchReport::Row::put(std::string_view key, Value v) {
+  for (auto& [k, existing] : values_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  values_.emplace_back(std::string(key), std::move(v));
+  return *this;
+}
+
+BenchReport::BenchReport(std::string name, std::uint64_t seed)
+    : name_(std::move(name)), seed_(seed) {
+  if (name_.empty()) throw std::invalid_argument("BenchReport: empty name");
+}
+
+void BenchReport::put_config(std::string_view key, Value v) {
+  for (auto& [k, existing] : config_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  config_.emplace_back(std::string(key), std::move(v));
+}
+
+BenchReport::Row& BenchReport::add_row(std::string_view label) {
+  rows_.emplace_back(std::string(label));
+  return rows_.back();
+}
+
+void BenchReport::add_counter(std::string_view name, std::uint64_t value) {
+  counters_.emplace_back(std::string(name), value);
+}
+
+void BenchReport::add_distribution(std::string_view name,
+                                   const metrics::Distribution& dist) {
+  distributions_.emplace_back(std::string(name), metrics::summarize(dist));
+}
+
+void BenchReport::capture_registry(const metrics::Registry& registry,
+                                   std::string_view prefix) {
+  for (const auto& [name, counter] : registry.counters()) {
+    add_counter(std::string(prefix) + name, counter.value());
+  }
+  for (const auto& [name, dist] : registry.distributions()) {
+    if (dist.count() == 0) continue;
+    add_distribution(std::string(prefix) + name, dist);
+  }
+}
+
+void BenchReport::capture_spans(const TraceSink& sink) {
+  spans_ = sink.aggregates();
+  spans_captured_ = true;
+}
+
+std::string BenchReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.member("schema", kBenchSchema);
+  w.member("name", name_);
+  w.member("seed", seed_);
+  w.member("smoke", smoke_);
+
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config_) {
+    w.key(k);
+    emit_value(w, v);
+  }
+  w.end_object();
+
+  w.key("rows").begin_array();
+  for (const Row& row : rows_) {
+    w.begin_object();
+    w.member("label", row.label());
+    w.key("values").begin_object();
+    for (const auto& [k, v] : row.values()) {
+      w.key(k);
+      emit_value(w, v);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters_) w.member(k, v);
+  w.end_object();
+
+  w.key("distributions").begin_object();
+  for (const auto& [k, s] : distributions_) {
+    w.key(k);
+    emit_summary(w, s);
+  }
+  w.end_object();
+
+  w.key("spans").begin_array();
+  for (const LabelAggregate& span : spans_) {
+    w.begin_object();
+    w.member("label", span.label);
+    w.key("wall_us");
+    if (span.has_wall) {
+      emit_summary(w, span.wall_us);
+    } else {
+      w.null();
+    }
+    w.key("sim_us");
+    if (span.has_sim) {
+      emit_summary(w, span.sim_us);
+    } else {
+      w.null();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+std::string BenchReport::write() {
+  if (!spans_captured_) capture_spans();
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("ICI_BENCH_DIR"); dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("BenchReport: cannot open " + path);
+  out << to_json() << '\n';
+  if (!out) throw std::runtime_error("BenchReport: write failed for " + path);
+  return path;
+}
+
+}  // namespace ici::obs

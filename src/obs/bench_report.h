@@ -1,0 +1,130 @@
+#pragma once
+
+// Machine-readable bench artifact. Every bench/exp* binary and tools/icisim
+// builds one of these alongside its human-readable tables and writes it as
+// BENCH_<name>.json (schema "ici-bench-v1", see docs/OBSERVABILITY.md).
+// The artifact carries the run configuration, the seed, the numeric rows
+// backing each printed table, protocol counters/distributions, and the
+// span aggregates collected by the TraceSink.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ici::metrics {
+class Registry;
+}  // namespace ici::metrics
+
+namespace ici::obs {
+
+inline constexpr std::string_view kBenchSchema = "ici-bench-v1";
+
+class BenchReport {
+ public:
+  using Value = std::variant<bool, std::int64_t, std::uint64_t, double, std::string>;
+
+  // One table row: a label plus named numeric/string cells, emitted in
+  // insertion order.
+  class Row {
+   public:
+    explicit Row(std::string label) : label_(std::move(label)) {}
+
+    Row& set(std::string_view key, double v) { return put(key, Value(v)); }
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>>>
+    Row& set(std::string_view key, T v) {
+      if constexpr (std::is_signed_v<T>) {
+        return put(key, Value(static_cast<std::int64_t>(v)));
+      } else {
+        return put(key, Value(static_cast<std::uint64_t>(v)));
+      }
+    }
+    Row& set(std::string_view key, bool v) { return put(key, Value(v)); }
+    Row& set(std::string_view key, std::string_view v) {
+      return put(key, Value(std::string(v)));
+    }
+    Row& set(std::string_view key, const char* v) {
+      return put(key, Value(std::string(v)));
+    }
+
+    [[nodiscard]] const std::string& label() const { return label_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, Value>>& values() const {
+      return values_;
+    }
+
+   private:
+    Row& put(std::string_view key, Value v);
+
+    std::string label_;
+    std::vector<std::pair<std::string, Value>> values_;
+  };
+
+  BenchReport(std::string name, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void set_smoke(bool smoke) { smoke_ = smoke; }
+  [[nodiscard]] bool smoke() const { return smoke_; }
+
+  void set_config(std::string_view key, double v) { put_config(key, Value(v)); }
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>>>
+  void set_config(std::string_view key, T v) {
+    if constexpr (std::is_signed_v<T>) {
+      put_config(key, Value(static_cast<std::int64_t>(v)));
+    } else {
+      put_config(key, Value(static_cast<std::uint64_t>(v)));
+    }
+  }
+  void set_config(std::string_view key, bool v) { put_config(key, Value(v)); }
+  void set_config(std::string_view key, std::string_view v) {
+    put_config(key, Value(std::string(v)));
+  }
+  void set_config(std::string_view key, const char* v) {
+    put_config(key, Value(std::string(v)));
+  }
+
+  // Stable reference: rows live in a deque, so earlier references survive
+  // later add_row calls.
+  Row& add_row(std::string_view label);
+
+  void add_counter(std::string_view name, std::uint64_t value);
+  void add_distribution(std::string_view name, const metrics::Distribution& dist);
+
+  // Copies every counter and distribution out of a protocol registry,
+  // prefixing names with `prefix` (e.g. "ici." / "fullrep.") so multiple
+  // networks in one bench stay distinguishable.
+  void capture_registry(const metrics::Registry& registry, std::string_view prefix = "");
+
+  // Snapshots the sink's span aggregates (replacing any earlier snapshot).
+  void capture_spans(const TraceSink& sink = TraceSink::global());
+
+  [[nodiscard]] std::string to_json() const;
+
+  // Writes BENCH_<name>.json into $ICI_BENCH_DIR (when set) or the current
+  // directory; captures spans from the global sink first if capture_spans
+  // was never called. Returns the path written.
+  std::string write();
+
+ private:
+  void put_config(std::string_view key, Value v);
+
+  std::string name_;
+  std::uint64_t seed_;
+  bool smoke_ = false;
+  std::vector<std::pair<std::string, Value>> config_;
+  std::deque<Row> rows_;
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::vector<std::pair<std::string, metrics::DistributionSummary>> distributions_;
+  std::vector<LabelAggregate> spans_;
+  bool spans_captured_ = false;
+};
+
+}  // namespace ici::obs

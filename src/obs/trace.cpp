@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+
+namespace ici::obs {
+
+TraceSink& TraceSink::global() {
+  static TraceSink sink;
+  return sink;
+}
+
+void TraceSink::record_wall(std::string_view label, double wall_us) {
+  auto it = labels_.find(label);
+  if (it == labels_.end()) it = labels_.emplace(std::string(label), LabelData{}).first;
+  it->second.wall.add(wall_us);
+}
+
+void TraceSink::record_sim(std::string_view label, double sim_us) {
+  auto it = labels_.find(label);
+  if (it == labels_.end()) it = labels_.emplace(std::string(label), LabelData{}).first;
+  it->second.sim.add(sim_us);
+}
+
+std::uint64_t TraceSink::set_sim_clock(SimClock clock) {
+  sim_clock_ = std::move(clock);
+  return ++clock_token_;
+}
+
+void TraceSink::clear_sim_clock(std::uint64_t token) {
+  if (token == clock_token_) sim_clock_ = nullptr;
+}
+
+std::vector<LabelAggregate> TraceSink::aggregates() const {
+  std::vector<LabelAggregate> out;
+  out.reserve(labels_.size());
+  for (const auto& [label, data] : labels_) {
+    LabelAggregate agg;
+    agg.label = label;
+    agg.has_wall = data.wall.count() > 0;
+    agg.has_sim = data.sim.count() > 0;
+    if (agg.has_wall) agg.wall_us = metrics::summarize(data.wall);
+    if (agg.has_sim) agg.sim_us = metrics::summarize(data.sim);
+    if (agg.has_wall || agg.has_sim) out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+const metrics::Distribution* TraceSink::wall_distribution(std::string_view label) const {
+  const auto it = labels_.find(label);
+  if (it == labels_.end() || it->second.wall.count() == 0) return nullptr;
+  return &it->second.wall;
+}
+
+const metrics::Distribution* TraceSink::sim_distribution(std::string_view label) const {
+  const auto it = labels_.find(label);
+  if (it == labels_.end() || it->second.sim.count() == 0) return nullptr;
+  return &it->second.sim;
+}
+
+void TraceSink::reset() {
+  labels_.clear();
+  span_stack_.clear();
+}
+
+const std::string& TraceSink::current_path() const {
+  static const std::string kEmpty;
+  return span_stack_.empty() ? kEmpty : span_stack_.back();
+}
+
+void TraceSink::push_span(std::string effective_label) {
+  span_stack_.push_back(std::move(effective_label));
+}
+
+void TraceSink::pop_span() {
+  if (span_stack_.empty()) throw std::logic_error("TraceSink: span stack underflow");
+  span_stack_.pop_back();
+}
+
+Span::Span(std::string_view label, TraceSink& sink)
+    : sink_(sink), wall_start_(std::chrono::steady_clock::now()) {
+  const std::string& parent = sink_.current_path();
+  if (parent.empty()) {
+    label_.assign(label);
+  } else {
+    label_.reserve(parent.size() + 1 + label.size());
+    label_ = parent;
+    label_ += '/';
+    label_ += label;
+  }
+  if (sink_.has_sim_clock()) {
+    sim_armed_ = true;
+    sim_start_ = sink_.sim_now();
+  }
+  sink_.push_span(label_);
+}
+
+Span::~Span() {
+  sink_.pop_span();
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_us =
+      std::chrono::duration<double, std::micro>(wall_end - wall_start_).count();
+  sink_.record_wall(label_, wall_us);
+  if (sim_armed_ && sink_.has_sim_clock()) {
+    const std::uint64_t sim_end = sink_.sim_now();
+    if (sim_end > sim_start_) {
+      sink_.record_sim(label_, static_cast<double>(sim_end - sim_start_));
+    }
+  }
+}
+
+}  // namespace ici::obs

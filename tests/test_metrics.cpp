@@ -48,6 +48,36 @@ TEST(Registry, IterationIsSorted) {
   EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
 }
 
+TEST(DistributionSummary, EmptyDistribution) {
+  Distribution d;
+  const DistributionSummary s = summarize(d);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.total, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(DistributionSummary, SingleSample) {
+  Distribution d;
+  d.add(42.0);
+  const DistributionSummary s = summarize(d);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.total, 42.0);
+  EXPECT_EQ(s.p50, 42.0);
+  EXPECT_EQ(s.p99, 42.0);
+}
+
+TEST(DistributionSummary, PercentilesMatchDistribution) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  const DistributionSummary s = summarize(d);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.total, 5050.0);
+  EXPECT_EQ(s.p50, d.p50());
+  EXPECT_EQ(s.p99, d.p99());
+  EXPECT_LT(s.p50, s.p99);
+}
+
 TEST(Registry, ResetClearsEverything) {
   Registry r;
   r.counter("c").inc();

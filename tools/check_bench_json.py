@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the ici-bench-v1 schema.
+
+Stdlib only — meant to run from CTest (the bench_json_schema test) or by
+hand after regenerating benchmark output:
+
+    $ python3 tools/check_bench_json.py build/bench_json
+    $ python3 tools/check_bench_json.py --require-spans verify/slice,encode/rs FILE...
+
+Arguments may be individual .json files or directories (scanned for
+BENCH_*.json, non-recursive). --require-spans takes a comma-separated list
+of span labels that must appear, with a non-empty aggregate, in the UNION
+of all validated files (no single experiment exercises every phase).
+
+Exit status: 0 = all files valid, 1 = validation failure, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "ici-bench-v1"
+SUMMARY_KEYS = {"count", "total", "p50", "p99"}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise ValidationError(f"{path}: {message}")
+
+
+def check_summary(path, where, obj):
+    """A DistributionSummary: {count, total, p50, p99}, all numbers."""
+    if not isinstance(obj, dict):
+        fail(path, f"{where}: expected object, got {type(obj).__name__}")
+    if set(obj.keys()) != SUMMARY_KEYS:
+        fail(path, f"{where}: keys {sorted(obj.keys())} != {sorted(SUMMARY_KEYS)}")
+    for key, value in obj.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(path, f"{where}.{key}: expected number, got {type(value).__name__}")
+    if not isinstance(obj["count"], int) or obj["count"] < 0:
+        fail(path, f"{where}.count: expected non-negative integer")
+
+
+def check_file(path):
+    """Validate one report; returns the set of span labels with samples."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            fail(path, f"invalid JSON: {exc}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+
+    for key, expected in (
+        ("schema", str),
+        ("name", str),
+        ("seed", int),
+        ("smoke", bool),
+        ("config", dict),
+        ("rows", list),
+        ("counters", dict),
+        ("distributions", dict),
+        ("spans", list),
+    ):
+        if key not in doc:
+            fail(path, f"missing required key '{key}'")
+        if not isinstance(doc[key], expected):
+            fail(path, f"'{key}': expected {expected.__name__}, "
+                       f"got {type(doc[key]).__name__}")
+
+    if doc["schema"] != SCHEMA:
+        fail(path, f"schema '{doc['schema']}' != '{SCHEMA}'")
+    if not doc["name"]:
+        fail(path, "'name' must be non-empty")
+    expected_file = f"BENCH_{doc['name']}.json"
+    if os.path.basename(path) != expected_file:
+        fail(path, f"filename should be {expected_file} for name '{doc['name']}'")
+
+    for i, row in enumerate(doc["rows"]):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            fail(path, f"{where}: expected object")
+        if not isinstance(row.get("label"), str) or not row["label"]:
+            fail(path, f"{where}: missing non-empty 'label'")
+        if not isinstance(row.get("values"), dict):
+            fail(path, f"{where}: missing 'values' object")
+        for key, value in row["values"].items():
+            if not isinstance(value, (bool, int, float, str)) and value is not None:
+                fail(path, f"{where}.values['{key}']: scalar expected, "
+                           f"got {type(value).__name__}")
+
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"counters['{name}']: expected integer")
+
+    for name, summary in doc["distributions"].items():
+        check_summary(path, f"distributions['{name}']", summary)
+
+    labels = set()
+    seen = set()
+    for i, span in enumerate(doc["spans"]):
+        where = f"spans[{i}]"
+        if not isinstance(span, dict):
+            fail(path, f"{where}: expected object")
+        label = span.get("label")
+        if not isinstance(label, str) or not label:
+            fail(path, f"{where}: missing non-empty 'label'")
+        if label in seen:
+            fail(path, f"{where}: duplicate span label '{label}'")
+        seen.add(label)
+        if "wall_us" not in span or "sim_us" not in span:
+            fail(path, f"{where}: needs both 'wall_us' and 'sim_us' (object or null)")
+        populated = False
+        for key in ("wall_us", "sim_us"):
+            if span[key] is None:
+                continue
+            check_summary(path, f"{where}.{key}", span[key])
+            if span[key]["count"] > 0:
+                populated = True
+        if not populated:
+            fail(path, f"{where}: span '{label}' has no samples in wall_us or sim_us")
+        labels.add(label)
+    return labels
+
+
+def collect_files(arguments):
+    files = []
+    for arg in arguments:
+        if os.path.isdir(arg):
+            entries = sorted(
+                os.path.join(arg, e) for e in os.listdir(arg)
+                if e.startswith("BENCH_") and e.endswith(".json"))
+            if not entries:
+                print(f"error: no BENCH_*.json files in directory {arg}", file=sys.stderr)
+                sys.exit(2)
+            files.extend(entries)
+        elif os.path.isfile(arg):
+            files.append(arg)
+        else:
+            print(f"error: no such file or directory: {arg}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate BENCH_*.json files against the ici-bench-v1 schema.")
+    parser.add_argument("paths", nargs="+", metavar="FILE_OR_DIR",
+                        help="BENCH_*.json files or directories containing them")
+    parser.add_argument("--require-spans", default="",
+                        help="comma-separated span labels that must appear, "
+                             "populated, in the union of all files")
+    args = parser.parse_args()
+
+    files = collect_files(args.paths)
+    all_labels = set()
+    failed = False
+    for path in files:
+        try:
+            all_labels |= check_file(path)
+            print(f"ok: {path}")
+        except ValidationError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            failed = True
+
+    required = {s.strip() for s in args.require_spans.split(",") if s.strip()}
+    missing = required - all_labels
+    if missing:
+        print(f"FAIL: required span labels absent from every file: "
+              f"{', '.join(sorted(missing))}", file=sys.stderr)
+        failed = True
+
+    if failed:
+        sys.exit(1)
+    print(f"validated {len(files)} file(s), {len(all_labels)} distinct span label(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,12 +2,16 @@
 //
 //   $ ./build/tools/icisim --nodes 120 --clusters 6 --blocks 20 --churn
 //   $ ./build/tools/icisim --erasure-data 8 --erasure-parity 2 --minutes 20
+//   $ ./build/tools/icisim --smoke          # tiny config, same output shape
 //   $ ./build/tools/icisim --help
 //
 // Builds a network from command-line parameters, disseminates a workload,
 // optionally runs churn, and prints a one-page report: storage, traffic,
 // commit latency, availability, and protocol counters. The scriptable front
-// door to everything the examples demonstrate one piece at a time.
+// door to everything the examples demonstrate one piece at a time. Every
+// run also writes BENCH_icisim.json (ici-bench-v1 schema, see
+// docs/OBSERVABILITY.md) with the config, metric rows, protocol counters,
+// and span aggregates.
 #include <iostream>
 
 #include "chain/workload.h"
@@ -15,6 +19,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "ici/network.h"
+#include "obs/bench_report.h"
 
 int main(int argc, char** argv) {
   using namespace ici;
@@ -30,6 +35,7 @@ int main(int argc, char** argv) {
   std::uint64_t minutes = 20;
   double churn_fraction = 0.3;
   bool churn = false;
+  bool smoke = false;
   std::string clustering = "kmeans";
 
   FlagParser flags("icisim", "ICIStrategy network scenario runner");
@@ -45,12 +51,21 @@ int main(int argc, char** argv) {
   flags.add_bool("churn", &churn, "run churn after dissemination");
   flags.add_double("churn-fraction", &churn_fraction, "fraction of nodes that churn");
   flags.add_uint("minutes", &minutes, "simulated minutes of churn");
+  flags.add_bool("smoke", &smoke, "shrink the scenario for CI (overrides sizes)");
 
   std::string error;
   if (!flags.parse(argc, argv, &error)) {
     if (!error.empty()) std::cerr << "error: " << error << "\n\n";
     std::cout << flags.usage();
     return error.empty() ? 0 : 2;
+  }
+
+  if (smoke) {
+    nodes = 24;
+    clusters = 2;
+    blocks = 4;
+    txs = 20;
+    minutes = 2;
   }
 
   ChainGenConfig chain_cfg;
@@ -73,6 +88,22 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  }
+
+  obs::BenchReport report("icisim", seed);
+  report.set_smoke(smoke);
+  report.set_config("nodes", nodes);
+  report.set_config("clusters", clusters);
+  report.set_config("replication", replication);
+  report.set_config("erasure_data", erasure_data);
+  report.set_config("erasure_parity", erasure_parity);
+  report.set_config("blocks", blocks);
+  report.set_config("txs_per_block", txs);
+  report.set_config("clustering", clustering);
+  report.set_config("churn", churn);
+  if (churn) {
+    report.set_config("churn_fraction", churn_fraction);
+    report.set_config("sim_minutes", minutes);
   }
 
   Block genesis = generator.workload().make_genesis();
@@ -122,10 +153,8 @@ int main(int argc, char** argv) {
   results.row({"commit latency p99", format_double(commit_latency.p99() / 1000, 1) + " ms"});
   results.row({"storage mean/node", format_bytes(snap.mean_bytes)});
   results.row({"storage max/node", format_bytes(snap.max_bytes)});
-  results.row({"vs full replication",
-               format_double(snap.mean_bytes / static_cast<double>(chain.total_bytes()) * 100,
-                             1) +
-                   "%"});
+  const double vs_full = snap.mean_bytes / static_cast<double>(chain.total_bytes()) * 100;
+  results.row({"vs full replication", format_double(vs_full, 1) + "%"});
   results.row({"traffic total", format_bytes(static_cast<double>(traffic.bytes_sent))});
   results.row({"messages", std::to_string(traffic.msgs_sent)});
   if (churn) {
@@ -137,6 +166,30 @@ int main(int argc, char** argv) {
   std::cout << "\nProtocol counters:\n";
   for (const auto& [name, counter] : network->metrics().counters()) {
     std::cout << "  " << name << " = " << counter.value() << "\n";
+  }
+
+  auto& row = report.add_row("run");
+  row.set("blocks_committed", commit_latency.count());
+  row.set("commit_p50_us", commit_latency.p50());
+  row.set("commit_p99_us", commit_latency.p99());
+  row.set("ledger_bytes", chain.total_bytes());
+  row.set("storage_mean_bytes", snap.mean_bytes);
+  row.set("storage_max_bytes", snap.max_bytes);
+  row.set("vs_fullrep_pct", vs_full);
+  row.set("traffic_bytes", traffic.bytes_sent);
+  row.set("traffic_msgs", traffic.msgs_sent);
+  if (churn) {
+    row.set("availability_mean", availability.mean());
+    row.set("availability_min", availability.min());
+  }
+  report.capture_registry(network->metrics());
+  report.capture_spans();
+  try {
+    const std::string path = report.write();
+    std::cout << "\nwrote " << path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
   return 0;
 }
