@@ -14,6 +14,7 @@
 #include "baseline/rapidchain.h"
 #include "chain/workload.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "ici/network.h"
 #include "obs/bench_report.h"
 #include "storage/storage_meter.h"
@@ -25,12 +26,24 @@ inline void print_experiment_header(const std::string& id, const std::string& ti
 }
 
 /// Command-line contract shared by every experiment binary: `--smoke` runs a
-/// tiny configuration (CTest exercises the BENCH_*.json path this way) and
-/// `--help` documents it. Unknown flags abort so typos cannot silently run
-/// the full-size configuration.
+/// tiny configuration (CTest exercises the BENCH_*.json path this way),
+/// `--threads N` sizes the global worker pool driving the parallel hot
+/// paths (0/default = hardware concurrency; --smoke pins 2 unless --threads
+/// is explicit — see docs/THREADING.md), and `--help` documents it. Unknown
+/// flags abort so typos cannot silently run the full-size configuration.
 struct BenchOptions {
   bool smoke = false;
+  std::uint64_t threads = 0;  // 0 = hardware concurrency
 };
+
+/// Resolves the --smoke/--threads interaction and installs the global pool;
+/// returns the lane count actually in effect (what config.threads reports).
+inline std::size_t apply_thread_options(const BenchOptions& opts) {
+  std::size_t threads = static_cast<std::size_t>(opts.threads);
+  if (threads == 0 && opts.smoke) threads = 2;  // smoke pins 2 for reproducible CI
+  ThreadPool::set_global_threads(threads);
+  return ThreadPool::global().thread_count();
+}
 
 inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view name) {
   BenchOptions opts;
@@ -38,10 +51,16 @@ inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view 
     const std::string_view arg = argv[i];
     if (arg == "--smoke") {
       opts.smoke = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads = std::strtoull(std::string(arg.substr(10)).c_str(), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << name << " [--smoke]\n"
-                << "  --smoke  tiny configuration for CI (same tables, same BENCH_" << name
+      std::cout << "usage: " << name << " [--smoke] [--threads N]\n"
+                << "  --smoke      tiny configuration for CI (same tables, same BENCH_" << name
                 << ".json schema)\n"
+                << "  --threads N  worker-pool lanes for the parallel hot paths\n"
+                << "               (default: hardware concurrency; --smoke pins 2)\n"
                 << "Writes BENCH_" << name << ".json (schema ici-bench-v1) into the current\n"
                 << "directory, or $ICI_BENCH_DIR when set.\n";
       std::exit(0);
@@ -50,13 +69,21 @@ inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view 
       std::exit(2);
     }
   }
+  apply_thread_options(opts);
   return opts;
+}
+
+/// Stamps the pool size every ici-bench-v1 artifact must carry (the schema
+/// checker rejects files without it); call once after building the report.
+inline void record_thread_config(obs::BenchReport& report) {
+  report.set_config("threads", ThreadPool::global().thread_count());
 }
 
 /// Captures the global span aggregates and writes the artifact; every bench
 /// main() ends with this. A bad $ICI_BENCH_DIR must not look like a crash
 /// after the tables already printed, so write failures exit 1 cleanly.
 inline void finish_report(obs::BenchReport& report) {
+  record_thread_config(report);
   report.capture_spans();
   try {
     const std::string path = report.write();

@@ -18,6 +18,7 @@
 #include "cluster/assignment.h"
 #include "cluster/kmeans.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 #include "erasure/rs.h"
@@ -197,16 +198,23 @@ class CollectingReporter final : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::uint64_t threads = 0;  // 0 = hardware concurrency; --smoke pins 2
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::strtoull(std::string(arg.substr(10)).c_str(), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "exp13_micro: substrate micro-benchmarks (google-benchmark)\n\n"
-                   "  --smoke   run each benchmark briefly (--benchmark_min_time=0.01)\n"
-                   "  --help    this message\n\n"
+                   "  --smoke      run each benchmark briefly (--benchmark_min_time=0.01)\n"
+                   "  --threads N  worker-pool lanes for the parallel hot paths\n"
+                   "               (default: hardware concurrency; --smoke pins 2)\n"
+                   "  --help       this message\n\n"
                    "Any --benchmark_* flag is forwarded to google-benchmark.\n"
                    "Writes BENCH_exp13_micro.json to the working directory\n"
                    "(or $ICI_BENCH_DIR if set).\n";
@@ -215,6 +223,8 @@ int main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
+  if (threads == 0 && smoke) threads = 2;
+  ici::ThreadPool::set_global_threads(threads);
   static char min_time_flag[] = "--benchmark_min_time=0.01";
   if (smoke) args.push_back(min_time_flag);
 
@@ -228,6 +238,7 @@ int main(int argc, char** argv) {
   obs::BenchReport report("exp13_micro", /*seed=*/42);
   report.set_smoke(smoke);
   report.set_config("benchmark_min_time_s", smoke ? 0.01 : 0.5);
+  report.set_config("threads", ThreadPool::global().thread_count());
   for (const auto& run : reporter.runs) {
     if (run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) continue;
     if (run.error_occurred) continue;

@@ -1,0 +1,189 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace ici {
+
+namespace {
+
+// Set for the lifetime of a pool worker thread (and therefore inside any
+// chunk body): nested parallel_for calls run inline on the worker instead
+// of deadlocking on the pool, and never touch the chunk recorder.
+thread_local bool tl_in_worker = false;
+
+using ChunkRecorder = void (*)(const double* chunk_us, std::size_t count);
+std::atomic<ChunkRecorder> g_chunk_recorder{nullptr};
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(0);
+  return pool;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void thread_pool_set_chunk_recorder(void (*recorder)(const double*, std::size_t)) {
+  g_chunk_recorder.store(recorder, std::memory_order_release);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  thread_count_ = std::max<std::size_t>(1, threads);
+  workers_.reserve(thread_count_ - 1);
+  for (std::size_t i = 0; i + 1 < thread_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() { return *global_slot(); }
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  global_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+void ThreadPool::run_serial(std::size_t begin, std::size_t end, std::size_t grain,
+                            const std::function<void(std::size_t, std::size_t)>& fn,
+                            std::vector<double>* chunk_us) {
+  for (std::size_t b = begin; b < end; b += grain) {
+    const std::size_t e = std::min(end, b + grain);
+    const auto start = std::chrono::steady_clock::now();
+    fn(b, e);
+    if (chunk_us != nullptr) chunk_us->push_back(elapsed_us(start));
+  }
+}
+
+void ThreadPool::record_chunks(const std::vector<double>& chunk_us) {
+  const ChunkRecorder recorder = g_chunk_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr && !chunk_us.empty()) recorder(chunk_us.data(), chunk_us.size());
+}
+
+// Claim-and-run loop shared by workers and the calling thread. Entered and
+// left with `lk` held; unlocks only around chunk execution. Chunks are
+// claimed in index order through job.next_chunk; an error fast-forwards
+// next_chunk so no further chunks start, and the lowest-index error wins so
+// the rethrown exception does not depend on scheduling.
+void ThreadPool::drain_job(Job& job) {
+  std::unique_lock<std::mutex> lk(mutex_, std::adopt_lock);
+  while (job_ == &job && job.next_chunk < job.chunk_count) {
+    const std::size_t idx = job.next_chunk++;
+    ++job.claimed;
+    lk.unlock();
+    const std::size_t b = job.begin + idx * job.grain;
+    const std::size_t e = std::min(job.end, b + job.grain);
+    std::exception_ptr error;
+    const auto start = std::chrono::steady_clock::now();
+    double us = 0;
+    try {
+      (*job.fn)(b, e);
+      us = elapsed_us(start);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lk.lock();
+    if (error) {
+      if (!job.has_error || idx < job.error_chunk) {
+        job.has_error = true;
+        job.error_chunk = idx;
+        job.error = error;
+      }
+      job.next_chunk = job.chunk_count;  // stop claiming, finish what runs
+    } else {
+      (*job.chunk_us)[idx] = us;
+    }
+    if (++job.done == job.claimed && job.next_chunk == job.chunk_count) {
+      done_cv_.notify_all();
+    }
+  }
+  lk.release();  // caller still holds the mutex
+}
+
+void ThreadPool::worker_loop() {
+  tl_in_worker = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || (job_ != nullptr && generation_ != seen); });
+    if (stop_) return;
+    seen = generation_;
+    Job* job = job_;
+    lk.release();
+    drain_job(*job);
+    // drain_job returned with the lock held again.
+    lk = std::unique_lock<std::mutex>(mutex_, std::adopt_lock);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;  // zero-length range: fn is never invoked
+  if (grain == 0) grain = 1;
+  const std::size_t chunk_count = (end - begin + grain - 1) / grain;
+
+  // Nested call from inside a chunk: run inline on this worker (waiting on
+  // the pool would deadlock). No recording — the sink belongs to the
+  // coordinating thread.
+  if (tl_in_worker) {
+    run_serial(begin, end, grain, fn, nullptr);
+    return;
+  }
+
+  std::vector<double> chunk_us;
+  if (chunk_count == 1 || workers_.empty()) {
+    chunk_us.reserve(chunk_count);
+    run_serial(begin, end, grain, fn, &chunk_us);
+    record_chunks(chunk_us);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.chunk_count = chunk_count;
+  chunk_us.assign(chunk_count, 0.0);
+  job.chunk_us = &chunk_us;
+
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    if (job_ != nullptr) {
+      // Another thread is mid-parallel_for (never the simulator thread —
+      // it is single-threaded — but tests may race two callers). Degrade
+      // to serial; recording would race the other caller's sink use.
+      lk.unlock();
+      run_serial(begin, end, grain, fn, nullptr);
+      return;
+    }
+    job_ = &job;
+    ++generation_;
+    work_cv_.notify_all();
+    lk.release();
+    drain_job(job);
+    lk = std::unique_lock<std::mutex>(mutex_, std::adopt_lock);
+    done_cv_.wait(lk, [&] {
+      return job.done == job.claimed && job.next_chunk == job.chunk_count;
+    });
+    job_ = nullptr;
+  }
+
+  if (job.has_error) std::rethrow_exception(job.error);
+  record_chunks(chunk_us);
+}
+
+}  // namespace ici

@@ -1,0 +1,112 @@
+// Fixed-size worker pool driving the CPU-bound hot paths (slice
+// verification, RS encode/reconstruct, Merkle level hashing). The one
+// primitive is parallel_for(begin, end, grain, fn): the range is cut into
+// ceil((end-begin)/grain) contiguous chunks whose boundaries depend ONLY on
+// (range, grain) — never on the thread count — so per-chunk results merged
+// in chunk order are bit-identical for any pool size, including 1. That is
+// the determinism contract docs/THREADING.md documents: parallelism may
+// change wall-clock time, never output bytes.
+//
+// The calling thread participates in chunk execution (a 1-thread pool
+// spawns no workers at all), nested parallel_for calls from inside a chunk
+// run inline on that worker, and the first exception — by chunk index, not
+// arrival order — is rethrown to the caller after all workers quiesce.
+//
+// Worker chunks MUST NOT touch obs::TraceSink (it is single-threaded by
+// design). Instead the pool measures each chunk's busy time locally and the
+// CALLING thread records the samples after the join, one per chunk, under
+// "<innermost open span>/pool" — so BENCH_*.json span aggregates show how
+// many chunks ran and how evenly the work split (see docs/THREADING.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ici {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` execution lanes (caller included); 0 means
+  /// std::thread::hardware_concurrency(). `threads - 1` workers are spawned.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return thread_count_; }
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) in chunks of at most
+  /// `grain` indices (grain 0 is treated as 1). Chunk boundaries are a pure
+  /// function of (begin, end, grain); workers claim chunks dynamically, so
+  /// only scheduling — never chunk shape or merge order — varies with the
+  /// thread count. Synchronous: returns after every chunk ran. If chunks
+  /// throw, the exception of the lowest-index throwing chunk is rethrown
+  /// (which other chunks ran to completion is unspecified).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool used by the hot paths. Defaults to hardware
+  /// concurrency; benches and tools resize it from --threads before work
+  /// starts (see bench/bench_util.h).
+  static ThreadPool& global();
+
+  /// Replaces the global pool with one of `threads` lanes (0 = hardware
+  /// concurrency). Joins the old pool's workers first; call only while no
+  /// parallel_for is in flight.
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t chunk_count = 0;
+    // All counters are guarded by mutex_. next_chunk is the next index to
+    // claim (fast-forwarded to chunk_count on error), claimed/done count
+    // chunks actually started/finished.
+    std::size_t next_chunk = 0;
+    std::size_t claimed = 0;
+    std::size_t done = 0;
+    std::vector<double>* chunk_us = nullptr;  // per-chunk busy-time slots
+    std::exception_ptr error;            // from the lowest-index throwing chunk
+    std::size_t error_chunk = 0;         // index that produced `error`
+    bool has_error = false;
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks until the job is drained; returns when this
+  /// thread can no longer contribute. Caller must NOT hold mutex_.
+  void drain_job(Job& job);
+  static void run_serial(std::size_t begin, std::size_t end, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::vector<double>* chunk_us);
+  void record_chunks(const std::vector<double>& chunk_us);
+
+  std::size_t thread_count_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for a job generation
+  std::condition_variable done_cv_;  // caller waits for chunks_done == count
+  Job* job_ = nullptr;               // active job, nullptr when idle
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Installs the per-chunk busy-time recorder parallel_for invokes — on the
+/// CALLING thread, after the join — with one duration per chunk that ran.
+/// src/obs/trace.cpp installs a recorder that files the samples under
+/// "<innermost open span>/pool"; pass nullptr to disable. Lives here as a
+/// raw hook so common/ stays free of an obs/ dependency.
+void thread_pool_set_chunk_recorder(void (*recorder)(const double* chunk_us,
+                                                     std::size_t count));
+
+}  // namespace ici

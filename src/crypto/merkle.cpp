@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace ici {
 
 Hash256 merkle_parent(const Hash256& left, const Hash256& right) {
@@ -14,9 +16,32 @@ Hash256 merkle_parent(const Hash256& left, const Hash256& right) {
 
 namespace {
 
+// Pair hashes within one level are independent; levels with at least this
+// many parents fan out across the pool (each parent slot written by exactly
+// one chunk, so the level is byte-identical for any thread count). Smaller
+// levels — including every level of typical in-simulation blocks — stay on
+// the plain serial loop: a pair hash is ~2 compressions and dispatch would
+// cost more than it saves.
+constexpr std::size_t kParallelPairThreshold = 256;
+constexpr std::size_t kPairGrain = 256;
+
 std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
+  const std::size_t parents = (level.size() + 1) / 2;
   std::vector<Hash256> out;
-  out.reserve((level.size() + 1) / 2);
+  if (parents >= kParallelPairThreshold) {
+    out.resize(parents);
+    ThreadPool::global().parallel_for(
+        0, parents, kPairGrain, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) {
+            const std::size_t i = 2 * p;
+            const Hash256& left = level[i];
+            const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+            out[p] = merkle_parent(left, right);
+          }
+        });
+    return out;
+  }
+  out.reserve(parents);
   for (std::size_t i = 0; i < level.size(); i += 2) {
     const Hash256& left = level[i];
     const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];

@@ -1,6 +1,7 @@
 #include "erasure/gf256.h"
 
 #include <stdexcept>
+#include <vector>
 
 namespace ici::erasure {
 
@@ -52,6 +53,24 @@ std::uint8_t GF256::pow(std::uint8_t a, std::uint32_t n) {
 
 std::uint8_t GF256::exp(std::uint32_t n) { return tables().exp[n % 255]; }
 
+const std::uint8_t* GF256::mul_table() {
+  // 64 KiB, built once from the log/exp tables: table[c*256 + s] = c·s.
+  // Thread-safe via static-local initialization; read-only afterwards, so
+  // pool workers share it freely.
+  static const std::vector<std::uint8_t> table = [] {
+    std::vector<std::uint8_t> t(256 * 256, 0);
+    for (std::size_t c = 1; c < 256; ++c) {
+      for (std::size_t s = 1; s < 256; ++s) {
+        t[c * 256 + s] = mul(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(s));
+      }
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+const std::uint8_t* GF256::mul_row(std::uint8_t c) { return mul_table() + c * 256u; }
+
 void GF256::mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
                         std::uint8_t c) {
   if (c == 0) return;
@@ -59,12 +78,8 @@ void GF256::mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t 
     for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
     return;
   }
-  const Tables& t = tables();
-  const std::uint8_t log_c = t.log[c];
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t s = src[i];
-    if (s != 0) dst[i] ^= t.exp[static_cast<std::size_t>(t.log[s]) + log_c];
-  }
+  const std::uint8_t* row = mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
 }
 
 }  // namespace ici::erasure

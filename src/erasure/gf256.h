@@ -28,8 +28,15 @@ class GF256 {
   [[nodiscard]] static std::uint8_t exp(std::uint32_t n);
 
   /// dst[i] ^= c * src[i] for all i — the row operation encode/decode uses.
+  /// Backed by the expanded multiply table: one lookup + one XOR per byte,
+  /// no per-byte zero branch.
   static void mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
                           std::uint8_t c);
+
+  /// The 256-byte row {c·0, c·1, ..., c·255} of the expanded multiply
+  /// table (built once, 64 KiB). Lets callers hoist the row lookup out of
+  /// inner loops the way mul_add_row does.
+  [[nodiscard]] static const std::uint8_t* mul_row(std::uint8_t c);
 
  private:
   struct Tables {
@@ -37,6 +44,7 @@ class GF256 {
     std::array<std::uint8_t, 512> exp{};
   };
   static const Tables& tables();
+  static const std::uint8_t* mul_table();  // 256×256, row-major by multiplier
 };
 
 }  // namespace ici::erasure

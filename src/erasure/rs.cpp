@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "erasure/gf256.h"
 #include "obs/trace.h"
 
 namespace ici::erasure {
+
+namespace {
+
+// Output rows (shards on encode, recovered data rows on decode) are fully
+// independent — each is a GF(256) combination of read-only inputs — so they
+// fan out across the pool. Rows are grouped so one chunk carries at least
+// this many bytes of row operations; below that, dispatch overhead beats
+// the d×per_shard byte loop and everything runs as one chunk. Grouping
+// depends only on the row cost, never the thread count (determinism
+// contract, docs/THREADING.md).
+constexpr std::size_t kMinRowBytesPerChunk = 64 * 1024;
+
+std::size_t rows_per_chunk(std::size_t row_cost_bytes) {
+  if (row_cost_bytes == 0) return 1;
+  return std::max<std::size_t>(1, kMinRowBytesPerChunk / row_cost_bytes);
+}
+
+}  // namespace
 
 ReedSolomon::ReedSolomon(std::size_t data, std::size_t parity)
     : data_(data), parity_(parity) {
@@ -99,12 +118,18 @@ std::vector<Shard> ReedSolomon::encode(ByteSpan payload) const {
     shards[i].bytes.assign(per_shard, 0);
   }
   // Systematic rows are direct copies; parity rows are row-combinations.
-  for (std::size_t r = 0; r < total_shards(); ++r) {
-    for (std::size_t c = 0; c < data_; ++c) {
-      GF256::mul_add_row(shards[r].bytes.data(), framed.data() + c * per_shard, per_shard,
-                         gen_[r][c]);
-    }
-  }
+  // Each output shard is written by exactly one chunk, so rows parallelize
+  // with no merging beyond the fixed shard order.
+  ThreadPool::global().parallel_for(
+      0, total_shards(), rows_per_chunk(data_ * per_shard),
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+          for (std::size_t c = 0; c < data_; ++c) {
+            GF256::mul_add_row(shards[r].bytes.data(), framed.data() + c * per_shard,
+                               per_shard, gen_[r][c]);
+          }
+        }
+      });
   return shards;
 }
 
@@ -138,12 +163,16 @@ std::optional<Bytes> ReedSolomon::reconstruct(const std::vector<Shard>& shards) 
   }
 
   Bytes framed(per_shard * data_, 0);
-  for (std::size_t r = 0; r < data_; ++r) {
-    for (std::size_t i = 0; i < data_; ++i) {
-      GF256::mul_add_row(framed.data() + r * per_shard, chosen[i]->bytes.data(), per_shard,
-                         decode[r][i]);
-    }
-  }
+  ThreadPool::global().parallel_for(
+      0, data_, rows_per_chunk(data_ * per_shard),
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+          for (std::size_t i = 0; i < data_; ++i) {
+            GF256::mul_add_row(framed.data() + r * per_shard, chosen[i]->bytes.data(),
+                               per_shard, decode[r][i]);
+          }
+        }
+      });
 
   if (framed.size() < 4) return std::nullopt;
   std::uint32_t len = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "ici/network.h"
 #include "obs/trace.h"
 
@@ -30,6 +31,12 @@ Bytes vote_payload(const Hash256& block_hash, bool approve, const Hash256& slice
   if (challenge) w.raw(challenge->span());
   return w.take();
 }
+
+// Transactions per parallel_for chunk in slice verification. A tx check is
+// a handful of SHA-256 invocations (signature re-derivation dominates), so
+// small chunks would drown in dispatch; 8 keeps chunk cost in the tens of
+// microseconds while still splitting paper-sized slices across workers.
+constexpr std::size_t kSliceVerifyGrain = 8;
 
 }  // namespace
 
@@ -607,31 +614,46 @@ void IciNode::finish_slice(const Hash256& block_hash) {
   obs::TraceSink::global().record_sim(
       "verify/slice", static_cast<double>(ctx_.simulator().now() - ps.received));
 
-  bool approve = true;
-  for (const Transaction& tx : ps.txs) {
-    bool tx_ok = static_cast<bool>(validator_.check_tx_stateless(tx));
-    if (tx_ok && !tx.is_coinbase()) {
-      Amount in_value = 0;
-      bool known = true;
-      for (const TxInput& in : tx.inputs()) {
-        const auto& entry = ps.resolved.at(in.prevout);
-        if (!entry) {
-          // Missing: either a genuine double-spend/unknown outpoint or an
-          // owner that never answered. With timed-out lookups we vote
-          // approve-with-caveat (liveness bias, see IciConfig); with all
-          // owners heard, missing means invalid.
-          if (!ps.any_lookup_failed) tx_ok = false;
-          known = false;
-          continue;
+  // Per-tx checks are independent: they read only the tx itself and the
+  // already-resolved UTXO entries, so they fan out across the pool. Each
+  // verdict lands in its own slot and the merge below walks them in slice
+  // order — the named offender (and therefore every message that follows)
+  // is identical for any thread count.
+  const std::vector<Transaction>& txs = ps.txs;
+  std::vector<std::uint8_t> tx_ok(txs.size(), 1);
+  ThreadPool::global().parallel_for(
+      0, txs.size(), kSliceVerifyGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const Transaction& tx = txs[i];
+          bool ok = static_cast<bool>(validator_.check_tx_stateless(tx));
+          if (ok && !tx.is_coinbase()) {
+            Amount in_value = 0;
+            bool known = true;
+            for (const TxInput& in : tx.inputs()) {
+              const auto& entry = ps.resolved.at(in.prevout);
+              if (!entry) {
+                // Missing: either a genuine double-spend/unknown outpoint
+                // or an owner that never answered. With timed-out lookups
+                // we vote approve-with-caveat (liveness bias, see
+                // IciConfig); with all owners heard, missing means invalid.
+                if (!ps.any_lookup_failed) ok = false;
+                known = false;
+                continue;
+              }
+              if (entry->recipient != in.pub) ok = false;
+              in_value += entry->value;
+            }
+            if (known && tx.total_output() > in_value) ok = false;
+          }
+          tx_ok[i] = ok ? 1 : 0;
         }
-        if (entry->recipient != in.pub) tx_ok = false;
-        in_value += entry->value;
-      }
-      if (known && tx.total_output() > in_value) tx_ok = false;
-    }
-    if (!tx_ok) {
+      });
+
+  bool approve = true;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (tx_ok[i] == 0) {
       approve = false;
-      ps.offender = tx.txid();  // the challenge the head will re-verify
+      ps.offender = txs[i].txid();  // the challenge the head will re-verify
       break;
     }
   }

@@ -2,7 +2,30 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace ici::obs {
+
+namespace {
+
+// ThreadPool::parallel_for hands the coordinating thread one busy-time
+// sample per chunk after the join; they aggregate under "<open span>/pool"
+// ("verify/slice/pool", "encode/rs/pool", ...), so BENCH_*.json shows how
+// many chunks each parallel section ran and how evenly the work split.
+// Worker threads never touch the sink (see docs/THREADING.md).
+void record_pool_chunks(const double* chunk_us, std::size_t count) {
+  TraceSink& sink = TraceSink::global();
+  const std::string& parent = sink.current_path();
+  const std::string label = parent.empty() ? std::string("pool") : parent + "/pool";
+  for (std::size_t i = 0; i < count; ++i) sink.record_wall(label, chunk_us[i]);
+}
+
+[[maybe_unused]] const bool g_pool_recorder_installed = [] {
+  thread_pool_set_chunk_recorder(&record_pool_chunks);
+  return true;
+}();
+
+}  // namespace
 
 TraceSink& TraceSink::global() {
   static TraceSink sink;

@@ -1,0 +1,160 @@
+// Contract tests for the worker pool behind the parallel hot paths
+// (docs/THREADING.md): chunk tiling is a pure function of (range, grain),
+// results and errors are deterministic for any lane count, and nested
+// parallel_for degrades to inline execution instead of deadlocking.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ici {
+namespace {
+
+using ChunkList = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Runs one parallel_for and returns every chunk the pool produced, sorted
+/// by begin (claims race across lanes, so arrival order is meaningless).
+ChunkList tile(ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t grain) {
+  std::mutex mu;
+  ChunkList chunks;
+  pool.parallel_for(begin, end, grain, [&](std::size_t b, std::size_t e) {
+    const std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ThreadPool, ZeroLengthRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(5, 5, 8, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, 8, [&](std::size_t, std::size_t) { ++calls; });  // end < begin
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, GrainZeroBehavesAsGrainOne) {
+  ThreadPool pool(3);
+  EXPECT_EQ(tile(pool, 0, 5, 0), tile(pool, 0, 5, 1));
+  const ChunkList expected = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  EXPECT_EQ(tile(pool, 0, 5, 0), expected);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  const ChunkList expected = {{2, 9}};
+  EXPECT_EQ(tile(pool, 2, 9, 100), expected);
+}
+
+TEST(ThreadPool, ChunksTileTheRangeExactly) {
+  ThreadPool pool(4);
+  const ChunkList chunks = tile(pool, 3, 103, 7);
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 3u);
+  EXPECT_EQ(chunks.back().second, 103u);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].second, chunks[i + 1].first) << "gap/overlap at chunk " << i;
+    EXPECT_EQ(chunks[i].second - chunks[i].first, 7u);
+  }
+}
+
+TEST(ThreadPool, TilingIsIndependentOfLaneCount) {
+  ThreadPool one(1);
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  struct Case {
+    std::size_t begin, end, grain;
+  };
+  constexpr Case kCases[] = {{0, 1000, 13}, {5, 6, 1}, {0, 64, 64}, {10, 1010, 1}};
+  for (const auto& c : kCases) {
+    const ChunkList ref = tile(one, c.begin, c.end, c.grain);
+    EXPECT_EQ(tile(two, c.begin, c.end, c.grain), ref);
+    EXPECT_EQ(tile(eight, c.begin, c.end, c.grain), ref);
+  }
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossLaneCounts) {
+  auto run = [](ThreadPool& pool) {
+    std::vector<std::uint64_t> out(4096);
+    pool.parallel_for(0, out.size(), 32, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) out[i] = i * 2654435761u;
+    });
+    return out;
+  };
+  ThreadPool one(1);
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  const auto ref = run(one);
+  EXPECT_EQ(run(two), ref);
+  EXPECT_EQ(run(eight), ref);
+}
+
+TEST(ThreadPool, LowestChunkExceptionWinsAndPoolSurvives) {
+  ThreadPool pool(4);
+  // Every chunk throws its own begin index; the deterministic contract says
+  // the caller sees the lowest-index failure regardless of claim order.
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.parallel_for(0, 64, 4, [&](std::size_t b, std::size_t) {
+        throw std::runtime_error("chunk " + std::to_string(b));
+      });
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 0");
+    }
+  }
+  // The failed job must not wedge the pool.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 100, 10, [&](std::size_t b, std::size_t e) {
+    std::size_t local = 0;
+    for (std::size_t i = b; i < e; ++i) local += i;
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> out(256, 0);
+  pool.parallel_for(0, 4, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t outer = b; outer < e; ++outer) {
+      // From a worker (or while the pool is busy) this must degrade to an
+      // inline serial loop rather than waiting on the occupied pool.
+      pool.parallel_for(outer * 64, (outer + 1) * 64, 8,
+                        [&](std::size_t ib, std::size_t ie) {
+                          for (std::size_t i = ib; i < ie; ++i) out[i] = i + 1;
+                        });
+    }
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(ThreadPool, SingleLanePoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::size_t calls = 0;  // unsynchronized on purpose: everything is inline
+  pool.parallel_for(0, 10, 3, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 3u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 1u);
+  // 0 = hardware concurrency, always at least one lane.
+  ThreadPool::set_global_threads(0);
+  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+  ThreadPool::set_global_threads(1);
+}
+
+}  // namespace
+}  // namespace ici

@@ -77,6 +77,12 @@ def check_file(path):
         fail(path, f"schema '{doc['schema']}' != '{SCHEMA}'")
     if not doc["name"]:
         fail(path, "'name' must be non-empty")
+    # Every artifact must record the worker-pool size it ran with (PR 2);
+    # wall-clock numbers are meaningless without it.
+    threads = doc["config"].get("threads")
+    if not isinstance(threads, int) or isinstance(threads, bool) or threads < 1:
+        fail(path, "config.threads: expected integer >= 1 "
+                   f"(got {threads!r})")
     expected_file = f"BENCH_{doc['name']}.json"
     if os.path.basename(path) != expected_file:
         fail(path, f"filename should be {expected_file} for name '{doc['name']}'")
@@ -120,8 +126,12 @@ def check_file(path):
             if span[key] is None:
                 continue
             check_summary(path, f"{where}.{key}", span[key])
-            if span[key]["count"] > 0:
-                populated = True
+            # A serialized aggregate with zero samples means the emitter wrote
+            # a dead summary instead of null — reject it outright.
+            if span[key]["count"] == 0:
+                fail(path, f"{where}.{key}: span '{label}' aggregate has count 0 "
+                           "(emit null instead of an empty summary)")
+            populated = True
         if not populated:
             fail(path, f"{where}: span '{label}' has no samples in wall_us or sim_us")
         labels.add(label)

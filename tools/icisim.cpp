@@ -18,6 +18,7 @@
 #include "common/flags.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "ici/network.h"
 #include "obs/bench_report.h"
 
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::uint64_t minutes = 20;
   double churn_fraction = 0.3;
+  std::uint64_t threads = 0;
   bool churn = false;
   bool smoke = false;
   std::string clustering = "kmeans";
@@ -52,6 +54,8 @@ int main(int argc, char** argv) {
   flags.add_double("churn-fraction", &churn_fraction, "fraction of nodes that churn");
   flags.add_uint("minutes", &minutes, "simulated minutes of churn");
   flags.add_bool("smoke", &smoke, "shrink the scenario for CI (overrides sizes)");
+  flags.add_uint("threads", &threads,
+                 "worker-pool lanes for parallel hot paths (0 = hardware; smoke pins 2)");
 
   std::string error;
   if (!flags.parse(argc, argv, &error)) {
@@ -67,6 +71,10 @@ int main(int argc, char** argv) {
     txs = 20;
     minutes = 2;
   }
+  // Pool size never changes simulated results (see docs/THREADING.md), only
+  // wall clock; smoke pins 2 lanes so CI exercises the multi-thread path.
+  if (threads == 0 && smoke) threads = 2;
+  ThreadPool::set_global_threads(threads);
 
   ChainGenConfig chain_cfg;
   chain_cfg.txs_per_block = txs;
@@ -100,6 +108,7 @@ int main(int argc, char** argv) {
   report.set_config("blocks", blocks);
   report.set_config("txs_per_block", txs);
   report.set_config("clustering", clustering);
+  report.set_config("threads", ThreadPool::global().thread_count());
   report.set_config("churn", churn);
   if (churn) {
     report.set_config("churn_fraction", churn_fraction);
