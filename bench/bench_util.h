@@ -13,6 +13,7 @@
 #include "baseline/fullrep.h"
 #include "baseline/rapidchain.h"
 #include "chain/workload.h"
+#include "common/cpudispatch.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "ici/network.h"
@@ -29,12 +30,23 @@ inline void print_experiment_header(const std::string& id, const std::string& ti
 /// tiny configuration (CTest exercises the BENCH_*.json path this way),
 /// `--threads N` sizes the global worker pool driving the parallel hot
 /// paths (0/default = hardware concurrency; --smoke pins 2 unless --threads
-/// is explicit — see docs/THREADING.md), and `--help` documents it. Unknown
-/// flags abort so typos cannot silently run the full-size configuration.
+/// is explicit — see docs/THREADING.md), `--cpu scalar|native` pins the
+/// SIMD dispatch tier (default: native when the host supports it, see
+/// docs/CPU_BACKENDS.md), and `--help` documents it. Unknown flags abort so
+/// typos cannot silently run the full-size configuration.
 struct BenchOptions {
   bool smoke = false;
   std::uint64_t threads = 0;  // 0 = hardware concurrency
 };
+
+/// Applies a `--cpu` value; exits 2 on anything but scalar|native. Backend
+/// choice only moves wall clock — sim metrics are bit-identical either way.
+inline void apply_cpu_option(std::string_view value, std::string_view name) {
+  if (!cpu::set_backend_name(value)) {
+    std::cerr << name << ": invalid --cpu value '" << value << "' (expected scalar|native)\n";
+    std::exit(2);
+  }
+}
 
 /// Resolves the --smoke/--threads interaction and installs the global pool;
 /// returns the lane count actually in effect (what config.threads reports).
@@ -55,12 +67,19 @@ inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view 
       opts.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
       opts.threads = std::strtoull(std::string(arg.substr(10)).c_str(), nullptr, 10);
+    } else if (arg == "--cpu" && i + 1 < argc) {
+      apply_cpu_option(argv[++i], name);
+    } else if (arg.rfind("--cpu=", 0) == 0) {
+      apply_cpu_option(arg.substr(6), name);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << name << " [--smoke] [--threads N]\n"
+      std::cout << "usage: " << name << " [--smoke] [--threads N] [--cpu scalar|native]\n"
                 << "  --smoke      tiny configuration for CI (same tables, same BENCH_" << name
                 << ".json schema)\n"
                 << "  --threads N  worker-pool lanes for the parallel hot paths\n"
                 << "               (default: hardware concurrency; --smoke pins 2)\n"
+                << "  --cpu MODE   SIMD dispatch tier: scalar forces portable kernels,\n"
+                << "               native uses SHA-NI/AVX2 when present (default; also\n"
+                << "               settable via ICI_CPU — see docs/CPU_BACKENDS.md)\n"
                 << "Writes BENCH_" << name << ".json (schema ici-bench-v1) into the current\n"
                 << "directory, or $ICI_BENCH_DIR when set.\n";
       std::exit(0);
@@ -73,10 +92,12 @@ inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view 
   return opts;
 }
 
-/// Stamps the pool size every ici-bench-v1 artifact must carry (the schema
-/// checker rejects files without it); call once after building the report.
+/// Stamps the pool size and CPU dispatch tier every ici-bench-v1 artifact
+/// must carry (the schema checker rejects files without them); call once
+/// after building the report.
 inline void record_thread_config(obs::BenchReport& report) {
   report.set_config("threads", ThreadPool::global().thread_count());
+  report.set_config("cpu_backend", std::string(cpu::backend_name()));
 }
 
 /// Captures the global span aggregates and writes the artifact; every bench

@@ -17,10 +17,12 @@
 #include "chain/workload.h"
 #include "cluster/assignment.h"
 #include "cluster/kmeans.h"
+#include "common/cpudispatch.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
+#include "erasure/gf256.h"
 #include "erasure/rs.h"
 #include "ici/codec.h"
 #include "obs/bench_report.h"
@@ -145,6 +147,36 @@ void BM_RendezvousAssignment(benchmark::State& state) {
 }
 BENCHMARK(BM_RendezvousAssignment)->Arg(16)->Arg(64)->Arg(256);
 
+// GF(256) row kernels in isolation — the byte loops every RS encode and
+// reconstruct spends its time in. These are what the SSSE3/AVX2 dispatch
+// accelerates (docs/CPU_BACKENDS.md); comparing --cpu scalar vs native here
+// gives the kernel speedup without RS framing overhead in the way.
+void BM_GfMulAddRow(benchmark::State& state) {
+  Rng rng(5);
+  const Bytes src = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  Bytes dst = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    erasure::GF256::mul_add_row(dst.data(), src.data(), src.size(), 0x57);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GfMulAddRow)->Arg(4096)->Arg(65536)->Arg(1048576);
+
+void BM_GfMulRowInto(benchmark::State& state) {
+  Rng rng(6);
+  const Bytes src = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  Bytes dst(src.size(), 0);
+  for (auto _ : state) {
+    erasure::GF256::mul_row_into(dst.data(), src.data(), src.size(), 0x8e);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GfMulRowInto)->Arg(4096)->Arg(65536)->Arg(1048576);
+
 void BM_ReedSolomonEncode(benchmark::State& state) {
   Rng rng(3);
   const Bytes payload = rng.bytes(static_cast<std::size_t>(state.range(0)));
@@ -209,11 +241,20 @@ int main(int argc, char** argv) {
       threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::strtoull(std::string(arg.substr(10)).c_str(), nullptr, 10);
+    } else if ((arg == "--cpu" && i + 1 < argc) || arg.rfind("--cpu=", 0) == 0) {
+      const std::string_view value = arg == "--cpu" ? std::string_view(argv[++i]) : arg.substr(6);
+      if (!ici::cpu::set_backend_name(value)) {
+        std::cerr << "exp13_micro: invalid --cpu value '" << value
+                  << "' (expected scalar|native)\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "exp13_micro: substrate micro-benchmarks (google-benchmark)\n\n"
                    "  --smoke      run each benchmark briefly (--benchmark_min_time=0.01)\n"
                    "  --threads N  worker-pool lanes for the parallel hot paths\n"
                    "               (default: hardware concurrency; --smoke pins 2)\n"
+                   "  --cpu MODE   SIMD dispatch tier: scalar | native (default native;\n"
+                   "               also settable via ICI_CPU — see docs/CPU_BACKENDS.md)\n"
                    "  --help       this message\n\n"
                    "Any --benchmark_* flag is forwarded to google-benchmark.\n"
                    "Writes BENCH_exp13_micro.json to the working directory\n"
@@ -239,6 +280,11 @@ int main(int argc, char** argv) {
   report.set_smoke(smoke);
   report.set_config("benchmark_min_time_s", smoke ? 0.01 : 0.5);
   report.set_config("threads", ThreadPool::global().thread_count());
+  // Requested tier plus the effective per-primitive kernels (the selection
+  // intersected with what this CPU actually supports).
+  report.set_config("cpu_backend", std::string(ici::cpu::backend_name()));
+  report.set_config("sha256_backend", std::string(ici::cpu::sha256_backend_name()));
+  report.set_config("gf256_backend", std::string(ici::cpu::gf256_backend_name()));
   for (const auto& run : reporter.runs) {
     if (run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) continue;
     if (run.error_occurred) continue;

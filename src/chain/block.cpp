@@ -4,13 +4,17 @@ namespace ici {
 
 Bytes BlockHeader::serialize() const {
   ByteWriter w(kWireSize);
+  serialize_into(w);
+  return w.take();
+}
+
+void BlockHeader::serialize_into(ByteWriter& w) const {
   w.u32(version);
   w.raw(parent.span());
   w.raw(merkle_root.span());
   w.u64(height);
   w.u64(timestamp_us);
   w.u64(nonce);
-  return w.take();
 }
 
 BlockHeader BlockHeader::deserialize(ByteSpan data) {
@@ -63,11 +67,18 @@ std::vector<Hash256> Block::txids() const {
 }
 
 Bytes Block::serialize() const {
-  ByteWriter w;
-  w.raw(header_.serialize());
-  w.u32(static_cast<std::uint32_t>(txs_.size()));
-  for (const Transaction& tx : txs_) w.blob(tx.serialize());
+  ByteWriter w(serialized_size());
+  serialize_into(w);
   return w.take();
+}
+
+void Block::serialize_into(ByteWriter& w) const {
+  header_.serialize_into(w);
+  w.u32(static_cast<std::uint32_t>(txs_.size()));
+  for (const Transaction& tx : txs_) {
+    w.u32(static_cast<std::uint32_t>(tx.serialized_size()));
+    tx.serialize_into(w);
+  }
 }
 
 Block Block::deserialize(ByteSpan data) {

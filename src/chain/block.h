@@ -21,6 +21,8 @@ struct BlockHeader {
   std::uint64_t nonce = 0;         // filled by the (simulated) proposer
 
   [[nodiscard]] Bytes serialize() const;
+  /// Appends the wire encoding to `w` without an intermediate buffer.
+  void serialize_into(ByteWriter& w) const;
   [[nodiscard]] static BlockHeader deserialize(ByteSpan data);
   /// Double SHA-256 of the serialized header — the block hash.
   [[nodiscard]] Hash256 hash() const;
@@ -52,6 +54,9 @@ class Block {
 
   /// Full wire encoding: header followed by the tx vector.
   [[nodiscard]] Bytes serialize() const;
+  /// Appends the wire encoding to `w` without an intermediate buffer —
+  /// the codec hot path (dissemination encodes every block it ships).
+  void serialize_into(ByteWriter& w) const;
   [[nodiscard]] static Block deserialize(ByteSpan data);
   [[nodiscard]] std::size_t serialized_size() const;
 

@@ -33,9 +33,13 @@ void Transaction::encode(ByteWriter& w, bool include_sigs) const {
 }
 
 Bytes Transaction::serialize() const {
-  ByteWriter w(64 + inputs_.size() * 132 + outputs_.size() * 40);
+  ByteWriter w(serialized_size());
   encode(w, /*include_sigs=*/true);
   return w.take();
+}
+
+void Transaction::serialize_into(ByteWriter& w) const {
+  encode(w, /*include_sigs=*/true);
 }
 
 Transaction Transaction::deserialize(ByteSpan data) {

@@ -61,6 +61,8 @@ class Transaction {
 
   /// Canonical encoding (includes signatures).
   [[nodiscard]] Bytes serialize() const;
+  /// Appends the canonical encoding to `w` without an intermediate buffer.
+  void serialize_into(ByteWriter& w) const;
   [[nodiscard]] static Transaction deserialize(ByteSpan data);
 
   /// Double SHA-256 of the canonical encoding. Cached after first call.

@@ -28,7 +28,7 @@ class Sha256 {
   [[nodiscard]] static Digest256 hash2(ByteSpan data);
 
  private:
-  void compress(const std::uint8_t* block);
+  void compress_blocks(const std::uint8_t* data, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> state_;
   std::uint64_t total_len_ = 0;
@@ -36,5 +36,19 @@ class Sha256 {
   std::size_t buf_len_ = 0;
   bool finalized_ = false;
 };
+
+namespace detail {
+
+/// Portable reference compression over `nblocks` consecutive 64-byte blocks.
+void sha256_compress_scalar(std::uint32_t* state, const std::uint8_t* data,
+                            std::size_t nblocks);
+
+/// SHA-NI two-lane `sha256rnds2` kernel (sha256_shani.cpp). Only callable
+/// when cpu::features().sha_ni is true — the non-x86 build of that TU
+/// forwards to the scalar reference so the symbol always links.
+void sha256_compress_shani(std::uint32_t* state, const std::uint8_t* data,
+                           std::size_t nblocks);
+
+}  // namespace detail
 
 }  // namespace ici

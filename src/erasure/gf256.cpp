@@ -1,7 +1,10 @@
 #include "erasure/gf256.h"
 
+#include <cstring>
 #include <stdexcept>
 #include <vector>
+
+#include "common/cpudispatch.h"
 
 namespace ici::erasure {
 
@@ -71,6 +74,25 @@ const std::uint8_t* GF256::mul_table() {
 
 const std::uint8_t* GF256::mul_row(std::uint8_t c) { return mul_table() + c * 256u; }
 
+const std::uint8_t* GF256::nibble_tables() {
+  // 8 KiB, built once: tables[c*32 + i]     = c · i          (low nibbles)
+  //                    tables[c*32 + 16+i]  = c · (i << 4)   (high nibbles)
+  // so c·s == lo[s & 0xf] ^ hi[s >> 4] — XOR is field addition and the
+  // nibble split is linear over GF(2).
+  static const std::vector<std::uint8_t> tables = [] {
+    std::vector<std::uint8_t> t(256 * 32, 0);
+    for (std::size_t c = 0; c < 256; ++c) {
+      for (std::size_t i = 0; i < 16; ++i) {
+        t[c * 32 + i] = mul(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(i));
+        t[c * 32 + 16 + i] =
+            mul(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(i << 4));
+      }
+    }
+    return t;
+  }();
+  return tables.data();
+}
+
 void GF256::mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
                         std::uint8_t c) {
   if (c == 0) return;
@@ -78,8 +100,42 @@ void GF256::mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t 
     for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
     return;
   }
+  switch (cpu::gf256_native_level()) {
+    case 2:
+      detail::mul_add_row_avx2(dst, src, n, nibble_tables() + c * 32u, mul_row(c));
+      return;
+    case 1:
+      detail::mul_add_row_ssse3(dst, src, n, nibble_tables() + c * 32u, mul_row(c));
+      return;
+    default:
+      break;
+  }
   const std::uint8_t* row = mul_row(c);
   for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void GF256::mul_row_into(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                         std::uint8_t c) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memcpy(dst, src, n);
+    return;
+  }
+  switch (cpu::gf256_native_level()) {
+    case 2:
+      detail::mul_row_into_avx2(dst, src, n, nibble_tables() + c * 32u, mul_row(c));
+      return;
+    case 1:
+      detail::mul_row_into_ssse3(dst, src, n, nibble_tables() + c * 32u, mul_row(c));
+      return;
+    default:
+      break;
+  }
+  const std::uint8_t* row = mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
 }
 
 }  // namespace ici::erasure

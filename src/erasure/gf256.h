@@ -1,6 +1,9 @@
 // Arithmetic over GF(2^8) with the 0x11d reduction polynomial (the field
 // used by classic Reed-Solomon storage codes). Log/antilog tables make
-// multiplication two lookups and an add.
+// multiplication two lookups and an add; the row operations additionally
+// dispatch to SSSE3/AVX2 split-nibble `pshufb` kernels when the CPU has
+// them (ISA-L-style low/high nibble product tables, 16/32 bytes per step
+// — see docs/CPU_BACKENDS.md). All backends are bit-identical.
 #pragma once
 
 #include <array>
@@ -28,10 +31,15 @@ class GF256 {
   [[nodiscard]] static std::uint8_t exp(std::uint32_t n);
 
   /// dst[i] ^= c * src[i] for all i — the row operation encode/decode uses.
-  /// Backed by the expanded multiply table: one lookup + one XOR per byte,
-  /// no per-byte zero branch.
+  /// Scalar path: one expanded-table lookup + one XOR per byte, no per-byte
+  /// zero branch. Native path: 16/32 bytes per `pshufb` step.
   static void mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
                           std::uint8_t c);
+
+  /// dst[i] = c * src[i] (overwrite form of mul_add_row). Saves the read of
+  /// a known-zero destination on the first column of an RS row combination.
+  static void mul_row_into(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                           std::uint8_t c);
 
   /// The 256-byte row {c·0, c·1, ..., c·255} of the expanded multiply
   /// table (built once, 64 KiB). Lets callers hoist the row lookup out of
@@ -45,6 +53,26 @@ class GF256 {
   };
   static const Tables& tables();
   static const std::uint8_t* mul_table();  // 256×256, row-major by multiplier
+  // 256 × 32 bytes: for each c, the products of all low nibbles then all
+  // high nibbles — the two shuffle tables the SIMD kernels index with
+  // `pshufb` (product = lo[s & 0xf] ^ hi[s >> 4]).
+  static const std::uint8_t* nibble_tables();
 };
+
+namespace detail {
+
+// SIMD row kernels (gf256_simd.cpp), dispatched by cpu::gf256_native_level.
+// `tbl32` is the 32-byte {lo,hi} nibble-product pair for the coefficient;
+// `row` the 256-byte product row used for the sub-vector scalar tail.
+void mul_add_row_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                       const std::uint8_t* tbl32, const std::uint8_t* row);
+void mul_add_row_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                      const std::uint8_t* tbl32, const std::uint8_t* row);
+void mul_row_into_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                        const std::uint8_t* tbl32, const std::uint8_t* row);
+void mul_row_into_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                       const std::uint8_t* tbl32, const std::uint8_t* row);
+
+}  // namespace detail
 
 }  // namespace ici::erasure

@@ -1,0 +1,142 @@
+// SSSE3/AVX2 kernels for the GF(256) row operations: split each source
+// byte into nibbles, look both up in 16-byte product tables with `pshufb`
+// (`vpshufb` across two lanes under AVX2), XOR the halves — 16 or 32
+// products per instruction group instead of one table load per byte.
+// Sub-vector tails reuse the 256-byte expanded-table row so every length
+// is bit-identical to the scalar path (tests/test_cpu_backends.cpp).
+//
+// Only compiled with real bodies on x86; elsewhere the symbols fall back
+// to the scalar row loop so gf256.cpp links unchanged (the dispatcher
+// never selects them there anyway).
+#include "erasure/gf256.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace ici::erasure::detail {
+
+namespace {
+
+inline void scalar_tail_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t i,
+                            std::size_t n, const std::uint8_t* row) {
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+inline void scalar_tail_into(std::uint8_t* dst, const std::uint8_t* src, std::size_t i,
+                             std::size_t n, const std::uint8_t* row) {
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace
+
+__attribute__((target("ssse3"))) void mul_add_row_ssse3(std::uint8_t* dst,
+                                                        const std::uint8_t* src,
+                                                        std::size_t n,
+                                                        const std::uint8_t* tbl32,
+                                                        const std::uint8_t* row) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tbl32));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tbl32 + 16));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(pl, ph)));
+  }
+  scalar_tail_add(dst, src, i, n, row);
+}
+
+__attribute__((target("ssse3"))) void mul_row_into_ssse3(std::uint8_t* dst,
+                                                         const std::uint8_t* src,
+                                                         std::size_t n,
+                                                         const std::uint8_t* tbl32,
+                                                         const std::uint8_t* row) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tbl32));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tbl32 + 16));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(pl, ph));
+  }
+  scalar_tail_into(dst, src, i, n, row);
+}
+
+__attribute__((target("avx2"))) void mul_add_row_avx2(std::uint8_t* dst,
+                                                      const std::uint8_t* src, std::size_t n,
+                                                      const std::uint8_t* tbl32,
+                                                      const std::uint8_t* row) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tbl32)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tbl32 + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i ph =
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(pl, ph)));
+  }
+  scalar_tail_add(dst, src, i, n, row);
+}
+
+__attribute__((target("avx2"))) void mul_row_into_avx2(std::uint8_t* dst,
+                                                       const std::uint8_t* src,
+                                                       std::size_t n,
+                                                       const std::uint8_t* tbl32,
+                                                       const std::uint8_t* row) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tbl32)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tbl32 + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i ph =
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(pl, ph));
+  }
+  scalar_tail_into(dst, src, i, n, row);
+}
+
+}  // namespace ici::erasure::detail
+
+#else  // non-x86: scalar bodies so the symbols always link.
+
+namespace ici::erasure::detail {
+
+void mul_add_row_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                       const std::uint8_t*, const std::uint8_t* row) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_add_row_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                      const std::uint8_t* tbl32, const std::uint8_t* row) {
+  mul_add_row_ssse3(dst, src, n, tbl32, row);
+}
+
+void mul_row_into_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                        const std::uint8_t*, const std::uint8_t* row) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_row_into_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                       const std::uint8_t* tbl32, const std::uint8_t* row) {
+  mul_row_into_ssse3(dst, src, n, tbl32, row);
+}
+
+}  // namespace ici::erasure::detail
+
+#endif

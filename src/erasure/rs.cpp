@@ -124,7 +124,11 @@ std::vector<Shard> ReedSolomon::encode(ByteSpan payload) const {
       0, total_shards(), rows_per_chunk(data_ * per_shard),
       [&](std::size_t row_begin, std::size_t row_end) {
         for (std::size_t r = row_begin; r < row_end; ++r) {
-          for (std::size_t c = 0; c < data_; ++c) {
+          // First column overwrites (the destination is known-zero), the
+          // rest accumulate — one fewer pass over each output row.
+          GF256::mul_row_into(shards[r].bytes.data(), framed.data(), per_shard,
+                              gen_[r][0]);
+          for (std::size_t c = 1; c < data_; ++c) {
             GF256::mul_add_row(shards[r].bytes.data(), framed.data() + c * per_shard,
                                per_shard, gen_[r][c]);
           }
@@ -167,7 +171,9 @@ std::optional<Bytes> ReedSolomon::reconstruct(const std::vector<Shard>& shards) 
       0, data_, rows_per_chunk(data_ * per_shard),
       [&](std::size_t row_begin, std::size_t row_end) {
         for (std::size_t r = row_begin; r < row_end; ++r) {
-          for (std::size_t i = 0; i < data_; ++i) {
+          GF256::mul_row_into(framed.data() + r * per_shard, chosen[0]->bytes.data(),
+                              per_shard, decode[r][0]);
+          for (std::size_t i = 1; i < data_; ++i) {
             GF256::mul_add_row(framed.data() + r * per_shard, chosen[i]->bytes.data(),
                                per_shard, decode[r][i]);
           }

@@ -65,15 +65,18 @@ erasure::Shard get_shard(ByteReader& r) {
 
 void encode_body(ByteWriter& w, const FullBlockMsg& m) {
   w.u8(m.for_verification ? 1 : 0);
-  w.raw(m.block->serialize());
+  m.block->serialize_into(w);
 }
 
 void encode_body(ByteWriter& w, const SliceMsg& m) {
-  w.raw(m.header.serialize());
+  m.header.serialize_into(w);
   put_hash(w, m.block_hash);
   w.u32(m.first_index);
   w.u32(m.total_txs);
-  for (const Transaction& tx : m.txs) w.blob(tx.serialize());
+  for (const Transaction& tx : m.txs) {
+    w.u32(static_cast<std::uint32_t>(tx.serialized_size()));
+    tx.serialize_into(w);
+  }
 }
 
 void encode_body(ByteWriter& w, const UtxoLookupMsg& m) {
@@ -102,7 +105,7 @@ void encode_body(ByteWriter& w, const VoteMsg& m) {
 }
 
 void encode_body(ByteWriter& w, const CommitMsg& m) {
-  w.raw(m.header.serialize());
+  m.header.serialize_into(w);
   put_hash(w, m.block_hash);
   w.u32(static_cast<std::uint32_t>(m.spent.size()));
   w.u32(static_cast<std::uint32_t>(m.created.size()));
@@ -123,14 +126,14 @@ void encode_body(ByteWriter& w, const BlockResponseMsg& m) {
   put_hash(w, m.block_hash);
   w.u64(m.request_id);
   w.u8(m.block ? 1 : 0);
-  if (m.block) w.raw(m.block->serialize());
+  if (m.block) m.block->serialize_into(w);
 }
 
 void encode_body(ByteWriter& w, const HeadersRequestMsg& m) { w.u64(m.from_height); }
 
 void encode_body(ByteWriter& w, const HeadersResponseMsg& m) {
   w.u32(static_cast<std::uint32_t>(m.headers.size()));
-  for (const BlockHeader& h : m.headers) w.raw(h.serialize());
+  for (const BlockHeader& h : m.headers) h.serialize_into(w);
 }
 
 void encode_body(ByteWriter& w, const InventoryRequestMsg& m) {

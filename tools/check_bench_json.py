@@ -83,6 +83,12 @@ def check_file(path):
     if not isinstance(threads, int) or isinstance(threads, bool) or threads < 1:
         fail(path, "config.threads: expected integer >= 1 "
                    f"(got {threads!r})")
+    # ... and the SIMD dispatch tier (PR 3): scalar vs native only moves
+    # wall clock, but comparing timing artifacts requires knowing which ran.
+    cpu_backend = doc["config"].get("cpu_backend")
+    if cpu_backend not in ("scalar", "native"):
+        fail(path, "config.cpu_backend: expected 'scalar' or 'native' "
+                   f"(got {cpu_backend!r})")
     expected_file = f"BENCH_{doc['name']}.json"
     if os.path.basename(path) != expected_file:
         fail(path, f"filename should be {expected_file} for name '{doc['name']}'")

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "chain/workload.h"
+#include "common/cpudispatch.h"
 #include "common/flags.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   bool churn = false;
   bool smoke = false;
   std::string clustering = "kmeans";
+  std::string cpu_mode = "";
 
   FlagParser flags("icisim", "ICIStrategy network scenario runner");
   flags.add_uint("nodes", &nodes, "number of participants");
@@ -56,12 +58,19 @@ int main(int argc, char** argv) {
   flags.add_bool("smoke", &smoke, "shrink the scenario for CI (overrides sizes)");
   flags.add_uint("threads", &threads,
                  "worker-pool lanes for parallel hot paths (0 = hardware; smoke pins 2)");
+  flags.add_string("cpu", &cpu_mode,
+                   "SIMD dispatch tier: scalar | native (default native; or $ICI_CPU)");
 
   std::string error;
   if (!flags.parse(argc, argv, &error)) {
     if (!error.empty()) std::cerr << "error: " << error << "\n\n";
     std::cout << flags.usage();
     return error.empty() ? 0 : 2;
+  }
+
+  if (!cpu_mode.empty() && !cpu::set_backend_name(cpu_mode)) {
+    std::cerr << "error: invalid --cpu value '" << cpu_mode << "' (expected scalar|native)\n";
+    return 2;
   }
 
   if (smoke) {
@@ -109,6 +118,7 @@ int main(int argc, char** argv) {
   report.set_config("txs_per_block", txs);
   report.set_config("clustering", clustering);
   report.set_config("threads", ThreadPool::global().thread_count());
+  report.set_config("cpu_backend", std::string(cpu::backend_name()));
   report.set_config("churn", churn);
   if (churn) {
     report.set_config("churn_fraction", churn_fraction);
