@@ -6,6 +6,7 @@
 
 #include "cluster/node_info.h"
 #include "common/rng.h"
+#include "metrics/sim_metrics.h"
 #include "obs/trace.h"
 
 namespace ici::baseline {
@@ -169,6 +170,7 @@ sim::SimTime FullRepNetwork::disseminate_and_settle(const Block& block) {
   const auto proposer = static_cast<sim::NodeId>(proposer_cursor_++ % nodes_.size());
   nodes_[proposer]->inject_block(std::make_shared<const Block>(block));
   sim_.run();
+  metrics::sync_sim_counters(metrics_, sim_);
 
   const Spread& spread = spreads_.at(hash);
   if (spread.finished == 0) return 0;  // did not reach everyone
@@ -224,6 +226,7 @@ FullRepNetwork::BootstrapReport FullRepNetwork::bootstrap(sim::Coord coord) {
     report.bodies_fetched = bodies;
   });
   sim_.run();
+  metrics::sync_sim_counters(metrics_, sim_);
   report.elapsed_us = sim_.now() - started;
   report.bytes_downloaded = net_->traffic(id).bytes_received;
   return report;

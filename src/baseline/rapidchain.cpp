@@ -6,6 +6,7 @@
 
 #include "cluster/node_info.h"
 #include "common/rng.h"
+#include "metrics/sim_metrics.h"
 #include "obs/trace.h"
 
 namespace ici::baseline {
@@ -177,6 +178,7 @@ sim::SimTime RapidChainNetwork::disseminate_and_settle(const Block& block) {
   const sim::NodeId leader = members[leader_cursor_++ % members.size()];
   nodes_[leader]->lead_dissemination(shared);
   sim_.run();
+  metrics::sync_sim_counters(metrics_, sim_);
 
   pending_.erase(hash);
   const Spread& spread = spreads_.at(hash);
@@ -243,6 +245,7 @@ RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord
     report.bodies_fetched = bodies;
   });
   sim_.run();
+  metrics::sync_sim_counters(metrics_, sim_);
   report.elapsed_us = sim_.now() - started;
   obs::TraceSink::global().record_sim("bootstrap/shard_sync",
                                       static_cast<double>(report.elapsed_us));

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "metrics/sim_metrics.h"
 #include "obs/trace.h"
 
 namespace ici::core {
@@ -177,9 +178,14 @@ void IciNetwork::disseminate(const Block& block) {
   nodes_[proposer]->propose(block);
 }
 
+void IciNetwork::settle() {
+  sim_.run();
+  metrics::sync_sim_counters(metrics_, sim_);
+}
+
 sim::SimTime IciNetwork::disseminate_and_settle(const Block& block) {
   disseminate(block);
-  sim_.run();
+  settle();
   const auto it = progress_.find(block.hash());
   if (it == progress_.end() || it->second.fully_committed_at == 0) return 0;
   const sim::SimTime latency = it->second.fully_committed_at - it->second.proposed_at;

@@ -55,8 +55,9 @@ class IciNetwork {
   /// Ships `block` without waiting (pipelined dissemination).
   void disseminate(const Block& block);
 
-  /// Runs the simulator until no events remain.
-  void settle() { sim_.run(); }
+  /// Runs the simulator until no events remain, then refreshes the "sim.*"
+  /// event-core counters in metrics().
+  void settle();
 
   /// Statically installs an already-built chain (headers everywhere, bodies
   /// on assigned storers, shards updated) with no message traffic. Storage

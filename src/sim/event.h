@@ -1,0 +1,156 @@
+// InplaceEvent: the move-only callable the discrete-event core stores per
+// scheduled event. The old core type-erased through std::function, whose
+// small-buffer optimisation (16 bytes on libstdc++) is far smaller than a
+// delivery closure (`this` + two NodeIds + a shared_ptr + a size ≈ 40
+// bytes), so every scheduled event paid a heap allocation. InplaceEvent
+// reserves a 64-byte inline buffer — every closure the simulator schedules
+// today fits — and type-erases through a static vtable, so the steady-state
+// network path schedules and dispatches with zero heap traffic
+// (tests/test_sim_alloc.cpp pins this down with a counting operator new).
+//
+// Captures that outgrow the buffer (or are not nothrow-move-constructible)
+// still work: they fall back to a heap box, and the queue counts them
+// (EventQueue::Stats::heap_fallback_events) so a regression shows up in the
+// sim/core instrumentation instead of silently re-slowing the hot loop.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ici::sim {
+
+class InplaceEvent {
+ public:
+  /// Inline capture budget. Sized for the largest closure on the hot paths
+  /// (message delivery, protocol timeouts carrying a Hash256) with headroom.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  InplaceEvent() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceEvent> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InplaceEvent(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Replaces the held callable, constructing the new one directly in the
+  /// buffer (the event pool uses this to skip a relocate per schedule).
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceEvent> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& fn) {
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &kBoxedVTable<D>;
+    }
+  }
+
+  InplaceEvent(InplaceEvent&& other) noexcept { steal(other); }
+  InplaceEvent& operator=(InplaceEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InplaceEvent(const InplaceEvent&) = delete;
+  InplaceEvent& operator=(const InplaceEvent&) = delete;
+
+  ~InplaceEvent() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// True when the capture spilled past the inline buffer into a heap box.
+  [[nodiscard]] bool heap_backed() const noexcept { return vtable_ != nullptr && vtable_->boxed; }
+
+  /// Invokes the callable; undefined on an empty/moved-from event.
+  void operator()() { vtable_->invoke(storage_); }
+
+  /// Invokes the callable, then destroys it, leaving the event empty — one
+  /// indirect call instead of two on the dispatch hot path. The event is
+  /// marked empty *before* the call, so the callable may safely re-emplace
+  /// this slot's owner (the pool recycles it only afterwards).
+  void invoke_and_reset() {
+    const VTable* vt = vtable_;
+    vtable_ = nullptr;
+    vt->invoke_destroy(storage_);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* self);
+    /// Invoke followed by destroy, fused to save an indirect call.
+    void (*invoke_destroy)(void* self);
+    /// Move-constructs dst from src, then destroys src. noexcept by
+    /// construction: inline storage requires nothrow-move, boxes memcpy a
+    /// pointer.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool boxed;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* self) { (*static_cast<D*>(self))(); },
+      [](void* self) {
+        D* d = static_cast<D*>(self);
+        (*d)();
+        d->~D();
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* self) noexcept { static_cast<D*>(self)->~D(); },
+      /*boxed=*/false,
+  };
+
+  template <typename D>
+  static constexpr VTable kBoxedVTable{
+      [](void* self) { (**static_cast<D**>(self))(); },
+      [](void* self) {
+        D* d = *static_cast<D**>(self);
+        (*d)();
+        delete d;
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* self) noexcept { delete *static_cast<D**>(self); },
+      /*boxed=*/true,
+  };
+
+  void steal(InplaceEvent& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(other.storage_, storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace ici::sim

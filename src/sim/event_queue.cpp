@@ -1,25 +1,141 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ici::sim {
 
-void EventQueue::schedule_at(SimTime at, Action action) {
-  heap_.push(Entry{at, next_seq_++, std::move(action)});
+std::uint32_t EventQueue::pool_acquire() {
+  if (free_.empty()) {
+    const auto base = static_cast<std::uint32_t>(chunks_.size() * kChunkSize);
+    chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+    for (std::uint32_t i = kChunkSize; i > 0; --i) free_.push_back(base + i - 1);
+  }
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  return idx;
 }
 
-SimTime EventQueue::next_time() const {
-  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
-  return heap_.top().at;
+void EventQueue::schedule_entry(SimTime at, std::uint32_t pool_idx) {
+  ++stats_.scheduled;
+  if (pool_at(pool_idx)->heap_backed()) ++stats_.heap_fallback_events;
+  Entry e{at, next_seq_++, pool_idx};
+
+  if (size_ == 0) {
+    // Empty queue: re-anchor the window on this event so it lands in the
+    // active bucket no matter how far the previous run drifted.
+    cur_bucket_ = bucket_of(at);
+  }
+
+  const std::uint64_t b = bucket_of(at);
+  if (b <= cur_bucket_) {
+    // Active bucket — or scheduled behind the drain position (possible when
+    // the queue is driven directly rather than through Simulator, which
+    // clamps). Late arrivals go to the overflow min-heap rather than a
+    // sorted insert into near_ (which would memmove O(bucket) per event
+    // under same-time cascades); run_next() pops whichever of
+    // near_.back() / overflow_.front() is earlier. Every wheel/far event
+    // sits in a strictly later bucket, so that minimum is global.
+    overflow_.push_back(e);
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  } else if (b < cur_bucket_ + kBucketCount) {
+    push_wheel(e);
+  } else {
+    ++stats_.far_events;
+    far_.push_back(e);
+    std::push_heap(far_.begin(), far_.end(), Later{});
+  }
+  ++size_;
+  if (size_ > stats_.peak_pending) stats_.peak_pending = size_;
+}
+
+void EventQueue::push_wheel(Entry e) {
+  const std::uint64_t slot = bucket_of(e.at) % kBucketCount;
+  wheel_[slot].push_back(e);
+  occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  ++wheel_count_;
+}
+
+std::uint64_t EventQueue::next_occupied_after(std::uint64_t bucket) const {
+  for (std::size_t off = 1; off < kBucketCount; ++off) {
+    const std::uint64_t slot = (bucket + off) % kBucketCount;
+    if (occupied_[slot >> 6] & (std::uint64_t{1} << (slot & 63))) return bucket + off;
+  }
+  throw std::logic_error("EventQueue: occupancy bitmap disagrees with wheel_count_");
+}
+
+void EventQueue::drain_far() {
+  while (!far_.empty() && far_.front().at < window_end_us()) {
+    std::pop_heap(far_.begin(), far_.end(), Later{});
+    const Entry e = far_.back();
+    far_.pop_back();
+    push_wheel(e);
+  }
+}
+
+void EventQueue::prepare() {
+  // Window may only advance once both views of the active bucket drained;
+  // overflow events live in buckets <= cur_bucket_, so they precede
+  // everything in the wheel and far heap.
+  if (!near_.empty() || !overflow_.empty()) return;
+  // The active bucket drained; advance to the next populated one. Window
+  // invariant: every wheel event lies in (cur_bucket_, cur_bucket_ +
+  // kBucketCount), every far event at or past the window end — so the next
+  // wheel bucket (when one exists) precedes everything in far_.
+  if (wheel_count_ > 0) {
+    cur_bucket_ = next_occupied_after(cur_bucket_);
+  } else {
+    cur_bucket_ = bucket_of(far_.front().at);
+  }
+  drain_far();
+
+  std::vector<Entry>& slot = wheel_[cur_bucket_ % kBucketCount];
+  std::swap(near_, slot);  // swap keeps both capacities alive for reuse
+  occupied_[(cur_bucket_ % kBucketCount) >> 6] &=
+      ~(std::uint64_t{1} << ((cur_bucket_ % kBucketCount) & 63));
+  wheel_count_ -= near_.size();
+  // Sort descending so run_next() is a pop_back: O(k log k) once per bucket
+  // beats a per-pop heap sift — entries are 24-byte PODs, so the sort is
+  // memmove-bound and branch-friendly.
+  std::sort(near_.begin(), near_.end(), Later{});
+}
+
+bool EventQueue::pop_from_overflow() const {
+  if (overflow_.empty()) return false;
+  return near_.empty() || Later{}(near_.back(), overflow_.front());
+}
+
+SimTime EventQueue::next_time() {
+  if (size_ == 0) throw std::logic_error("EventQueue::next_time: empty");
+  prepare();
+  return pop_from_overflow() ? overflow_.front().at : near_.back().at;
 }
 
 SimTime EventQueue::run_next() {
-  if (heap_.empty()) throw std::logic_error("EventQueue::run_next: empty");
-  // priority_queue::top returns const&; move via const_cast is safe because
-  // the entry is popped immediately after.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  entry.action();
+  if (size_ == 0) throw std::logic_error("EventQueue::run_next: empty");
+  prepare();
+  Entry entry;  // NOLINT(cppcoreguidelines-pro-type-member-init): set below
+  if (pop_from_overflow()) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    entry = overflow_.back();
+    overflow_.pop_back();
+  } else {
+    entry = near_.back();
+    near_.pop_back();
+  }
+  --size_;
+  ++stats_.executed;
+  // Bucket entries fire back-to-back but their closures live scattered in
+  // the pool; start pulling the next one's cache lines while this event
+  // runs.
+  if (!near_.empty()) __builtin_prefetch(pool_at(near_.back().pool_idx));
+  // Invoke and destroy in place (one fused indirect call); the chunk
+  // address stays valid even if the event schedules more events (chunks
+  // are never reallocated). The slot is recycled only after the invoke,
+  // so an executing event cannot have its own storage reused underneath
+  // it.
+  pool_at(entry.pool_idx)->invoke_and_reset();
+  free_.push_back(entry.pool_idx);
   return entry.at;
 }
 

@@ -38,7 +38,30 @@ bool Network::online(NodeId id) const {
   return nodes_[id].online;
 }
 
-void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+void Network::deliver(NodeId from, NodeId to, std::size_t wire, const MessagePtr& msg) {
+  NodeSlot& dst = nodes_[to];
+  if (!dst.online || dst.endpoint == nullptr) return;  // dropped in flight
+  dst.traffic.msgs_received += 1;
+  dst.traffic.bytes_received += wire;
+  dst.endpoint->on_message(from, msg);
+}
+
+void Network::schedule_delivery(NodeId from, NodeId to, std::size_t wire, double transfer_us,
+                                MessagePtr msg) {
+  NodeSlot& src = nodes_[from];
+  const SimTime start = std::max(sim_.now(), src.uplink_busy_until);
+  const SimTime departure = start + static_cast<SimTime>(transfer_us);
+  src.uplink_busy_until = departure;
+
+  const double prop =
+      cfg_.base_propagation_us + distance(src.coord, nodes_[to].coord) * cfg_.us_per_distance_unit;
+  const double jitter = std::max(0.0, rng_.normal(0.0, cfg_.jitter_stddev_us));
+  const SimTime arrival = departure + static_cast<SimTime>(prop + jitter);
+
+  sim_.at(arrival, [this, from, to, wire, msg = std::move(msg)] { deliver(from, to, wire, msg); });
+}
+
+void Network::send_impl(NodeId from, NodeId to, MessagePtr msg) {
   if (from >= nodes_.size() || to >= nodes_.size())
     throw std::out_of_range("Network::send: unknown node");
   if (!msg) throw std::invalid_argument("Network::send: null message");
@@ -51,39 +74,37 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
 
   if (from == to) {
     // Loopback: no uplink charge beyond accounting, minimal scheduling delay.
-    sim_.after(1, [this, from, to, msg = std::move(msg), wire] {
-      NodeSlot& dst = nodes_[to];
-      if (!dst.online || dst.endpoint == nullptr) return;
-      dst.traffic.msgs_received += 1;
-      dst.traffic.bytes_received += wire;
-      dst.endpoint->on_message(from, msg);
-    });
+    sim_.after(1, [this, from, to, wire, msg = std::move(msg)] { deliver(from, to, wire, msg); });
     return;
   }
 
   const double transfer_us = static_cast<double>(wire) / src.uplink_bps * 1e6;
-  const SimTime start = std::max(sim_.now(), src.uplink_busy_until);
-  const SimTime departure = start + static_cast<SimTime>(transfer_us);
-  src.uplink_busy_until = departure;
-
-  const double prop =
-      cfg_.base_propagation_us + distance(src.coord, nodes_[to].coord) * cfg_.us_per_distance_unit;
-  const double jitter = std::max(0.0, rng_.normal(0.0, cfg_.jitter_stddev_us));
-  const SimTime arrival = departure + static_cast<SimTime>(prop + jitter);
-
-  sim_.at(arrival, [this, from, to, msg = std::move(msg), wire] {
-    NodeSlot& dst = nodes_[to];
-    if (!dst.online || dst.endpoint == nullptr) return;  // dropped in flight
-    dst.traffic.msgs_received += 1;
-    dst.traffic.bytes_received += wire;
-    dst.endpoint->on_message(from, msg);
-  });
+  schedule_delivery(from, to, wire, transfer_us, std::move(msg));
 }
 
 void Network::multicast(NodeId from, const std::vector<NodeId>& to, const MessagePtr& msg) {
+  bool hoisted = false;
+  std::size_t wire = 0;
+  double transfer_us = 0.0;
   for (NodeId t : to) {
     if (t == from) continue;
-    send(from, t, msg);
+    if (!hoisted) {
+      // Validate and price the message once per fan-out, not per recipient
+      // (the checks and wire_size/transfer math are recipient-invariant;
+      // no event can flip `online` mid-loop). First-recipient laziness
+      // keeps edge-case behavior identical to repeated send() calls.
+      if (from >= nodes_.size()) throw std::out_of_range("Network::send: unknown node");
+      if (!msg) throw std::invalid_argument("Network::send: null message");
+      if (!nodes_[from].online) return;  // a dead node sends nothing
+      wire = msg->wire_size() + cfg_.per_message_overhead;
+      transfer_us = static_cast<double>(wire) / nodes_[from].uplink_bps * 1e6;
+      hoisted = true;
+    }
+    if (t >= nodes_.size()) throw std::out_of_range("Network::send: unknown node");
+    NodeSlot& src = nodes_[from];
+    src.traffic.msgs_sent += 1;
+    src.traffic.bytes_sent += wire;
+    schedule_delivery(from, t, wire, transfer_us, MessagePtr(msg));
   }
 }
 

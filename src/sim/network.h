@@ -87,10 +87,19 @@ class Network {
   /// Sends msg from → to. Messages to offline nodes are charged to the
   /// sender and then dropped (the sender cannot know yet). Self-sends are
   /// delivered with zero network cost after a minimal delay.
-  void send(NodeId from, NodeId to, MessagePtr msg);
+  ///
+  /// The const& overload copies the pointer exactly once (into the delivery
+  /// event); the && overload moves it there, so a send of a moved-in
+  /// message touches the shared_ptr control block zero times.
+  void send(NodeId from, NodeId to, const MessagePtr& msg) { send_impl(from, to, MessagePtr(msg)); }
+  void send(NodeId from, NodeId to, MessagePtr&& msg) { send_impl(from, to, std::move(msg)); }
 
   /// Convenience fan-out; uplink serialization makes order matter slightly,
-  /// recipients are contacted in the given order.
+  /// recipients are contacted in the given order. Wire size and transfer
+  /// time are computed once for the whole fan-out, and each recipient costs
+  /// one shared_ptr copy (one control-block touch), one jitter draw — in
+  /// recipient order, exactly as repeated send() calls would draw — and one
+  /// inline event.
   void multicast(NodeId from, const std::vector<NodeId>& to, const MessagePtr& msg);
 
   [[nodiscard]] const Coord& coord(NodeId id) const;
@@ -108,6 +117,15 @@ class Network {
   [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
 
  private:
+  void send_impl(NodeId from, NodeId to, MessagePtr msg);
+  /// Computes departure/arrival for one recipient (advancing the sender's
+  /// uplink and drawing the jitter stream in call order) and schedules the
+  /// delivery event. `transfer_us` is hoisted by the caller since it only
+  /// depends on the sender and the wire size.
+  void schedule_delivery(NodeId from, NodeId to, std::size_t wire, double transfer_us,
+                         MessagePtr msg);
+  void deliver(NodeId from, NodeId to, std::size_t wire, const MessagePtr& msg);
+
   struct NodeSlot {
     INode* endpoint = nullptr;
     Coord coord;

@@ -1,0 +1,63 @@
+// ReferenceEventQueue: the pre-overhaul event queue — std::function actions
+// in a single std::priority_queue — kept verbatim as a TEST-ONLY oracle.
+// The differential suite (tests/test_event_queue_determinism.cpp) runs
+// millions of randomized schedules through this and the production
+// EventQueue and asserts identical execution order, and bench/exp19_simcore
+// measures the production core's speedup against it. Nothing outside tests
+// and bench/ may include this header.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.h"  // SimTime
+
+namespace ici::sim {
+
+class ReferenceEventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule_at(SimTime at, Action action) {
+    heap_.push(Entry{at, next_seq_++, std::move(action)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] SimTime next_time() const {
+    if (heap_.empty()) throw std::logic_error("ReferenceEventQueue::next_time: empty");
+    return heap_.top().at;
+  }
+
+  SimTime run_next() {
+    if (heap_.empty()) throw std::logic_error("ReferenceEventQueue::run_next: empty");
+    // priority_queue::top returns const&; move via const_cast is safe because
+    // the entry is popped immediately after.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    entry.action();
+    return entry.at;
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ici::sim

@@ -1,6 +1,9 @@
 // Simulator: the clock + event queue facade protocols schedule against.
 #pragma once
 
+#include <type_traits>
+#include <utility>
+
 #include "sim/event_queue.h"
 
 namespace ici::sim {
@@ -9,12 +12,23 @@ class Simulator {
  public:
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedules relative to now.
-  void after(SimTime delay, EventQueue::Action action) {
-    queue_.schedule_at(now_ + delay, std::move(action));
+  /// Schedules relative to now. Accepts any void() callable; captures up to
+  /// InplaceEvent::kInlineCapacity bytes stay allocation-free.
+  template <typename F>
+  void after(SimTime delay, F&& action) {
+    queue_.schedule_at(now_ + delay, InplaceEvent(std::forward<F>(action)));
   }
-  void at(SimTime when, EventQueue::Action action) {
-    queue_.schedule_at(when < now_ ? now_ : when, std::move(action));
+
+  /// Schedules at an absolute time. Deadlines already in the past clamp to
+  /// now — and are counted (late_events), because protocol logic scheduling
+  /// into the past is almost always a bug the clamp would otherwise hide.
+  template <typename F>
+  void at(SimTime when, F&& action) {
+    if (when < now_) {
+      ++late_events_;
+      when = now_;
+    }
+    queue_.schedule_at(when, InplaceEvent(std::forward<F>(action)));
   }
 
   /// Runs events until the queue drains or `max_events` fire. Returns the
@@ -28,8 +42,18 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Count of at() calls whose deadline was clamped to now. Deterministic;
+  /// the network facades export it as the `sim.late_events` counter and the
+  /// deterministic-network test asserts it stays zero.
+  [[nodiscard]] std::uint64_t late_events() const { return late_events_; }
+
+  /// Structural queue instrumentation (events executed, peak pending, far/
+  /// heap fallbacks) — all deterministic, see EventQueue::Stats.
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+
  private:
   SimTime now_ = 0;
+  std::uint64_t late_events_ = 0;
   EventQueue queue_;
 };
 

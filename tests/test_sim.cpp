@@ -73,13 +73,27 @@ TEST(Simulator, MaxEventsLimit) {
   EXPECT_EQ(fired, 3);
 }
 
-TEST(Simulator, AtClampsToNow) {
+TEST(Simulator, AtClampsToNowAndCountsLateEvents) {
   Simulator sim;
+  EXPECT_EQ(sim.late_events(), 0u);
   sim.after(100, [&] {
-    // Scheduling in the past runs "now", not before.
+    // Scheduling in the past runs "now", not before — and is counted, so
+    // experiments can detect protocol logic scheduling into the past.
     sim.at(5, [&] { EXPECT_GE(sim.now(), 100u); });
+    sim.at(100, [&] {});  // exactly-now is not late
   });
   sim.run();
+  EXPECT_EQ(sim.late_events(), 1u);
+}
+
+TEST(Simulator, QueueStatsTrackExecutionAndPeak) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.after(i, [] {});
+  EXPECT_EQ(sim.queue_stats().scheduled, 10u);
+  EXPECT_EQ(sim.queue_stats().peak_pending, 10u);
+  sim.run();
+  EXPECT_EQ(sim.queue_stats().executed, 10u);
+  EXPECT_EQ(sim.queue_stats().heap_fallback_events, 0u);
 }
 
 // -- network ---------------------------------------------------------------
@@ -218,6 +232,38 @@ TEST_F(NetworkTest, ResetTrafficClears) {
 TEST_F(NetworkTest, UnknownNodeThrows) {
   EXPECT_THROW(net.send(a, 999, std::make_shared<TestMsg>(1)), std::out_of_range);
   EXPECT_THROW((void)net.traffic(999), std::out_of_range);
+}
+
+TEST_F(NetworkTest, MulticastMatchesSendLoopExactly) {
+  // The fan-out path hoists wire-size/transfer math and shares the message
+  // pointer, but must charge the same bytes and draw the same per-recipient
+  // jitter stream as repeated send() calls. Two identically-seeded networks,
+  // one driven each way, must therefore finish at the identical sim time.
+  NetworkConfig cfg = make_config();
+  cfg.jitter_stddev_us = 750;  // jitter ON so the RNG draw order matters
+
+  Simulator s1, s2;
+  Network n1(s1, cfg), n2(s2, cfg);
+  Recorder r1, r2;
+  std::vector<NodeId> peers1, peers2;
+  const NodeId src1 = n1.add_node(&r1, {0, 0});
+  const NodeId src2 = n2.add_node(&r2, {0, 0});
+  for (int i = 0; i < 6; ++i) {
+    const Coord c{static_cast<double>(i), 2.0};
+    peers1.push_back(n1.add_node(&r1, c));
+    peers2.push_back(n2.add_node(&r2, c));
+  }
+
+  auto msg = std::make_shared<TestMsg>(50'000);
+  n1.multicast(src1, peers1, msg);
+  for (NodeId t : peers2) n2.send(src2, t, msg);
+  s1.run();
+  s2.run();
+
+  EXPECT_EQ(r1.received.size(), 6u);
+  EXPECT_EQ(s1.now(), s2.now());
+  EXPECT_EQ(n1.total_traffic().bytes_sent, n2.total_traffic().bytes_sent);
+  EXPECT_EQ(n1.traffic(src1).msgs_sent, n2.traffic(src2).msgs_sent);
 }
 
 TEST(Distance, Euclidean) {

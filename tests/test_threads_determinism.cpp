@@ -150,6 +150,13 @@ TEST_F(ThreadsDeterminism, FullNetworkRunIsBitIdentical) {
     EXPECT_EQ(runs[i].traffic_msgs, runs[0].traffic_msgs);
     EXPECT_EQ(runs[i].counters, runs[0].counters);
   }
+  // Event-core hygiene on a full deterministic run: nothing schedules into
+  // the past (the Simulator::at clamp never fires) and no closure outgrew
+  // the inline event buffer.
+  ASSERT_TRUE(runs[0].counters.count("sim.late_events"));
+  EXPECT_EQ(runs[0].counters.at("sim.late_events"), 0u);
+  ASSERT_TRUE(runs[0].counters.count("sim.event_heap_fallbacks"));
+  EXPECT_EQ(runs[0].counters.at("sim.event_heap_fallbacks"), 0u);
 }
 
 }  // namespace

@@ -106,6 +106,20 @@ def check_file(path):
                 fail(path, f"{where}.values['{key}']: scalar expected, "
                            f"got {type(value).__name__}")
 
+    # exp19 (sim-core throughput) carries a scale sweep: the artifact must
+    # say what headline node count it ran (config.nodes) and every row —
+    # microbench and sweep alike — must report a positive events_per_sec,
+    # or the scaling claim in EXPERIMENTS.md has nothing backing it.
+    if doc["name"] == "exp19_simcore":
+        nodes = doc["config"].get("nodes")
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+            fail(path, f"config.nodes: expected integer >= 1 (got {nodes!r})")
+        for i, row in enumerate(doc["rows"]):
+            eps = row["values"].get("events_per_sec")
+            if not isinstance(eps, (int, float)) or isinstance(eps, bool) or eps <= 0:
+                fail(path, f"rows[{i}].values['events_per_sec']: expected "
+                           f"positive number (got {eps!r})")
+
     for name, value in doc["counters"].items():
         if not isinstance(value, int) or isinstance(value, bool):
             fail(path, f"counters['{name}']: expected integer")
