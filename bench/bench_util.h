@@ -14,6 +14,7 @@
 #include "baseline/rapidchain.h"
 #include "chain/workload.h"
 #include "common/cpudispatch.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "ici/network.h"
@@ -26,70 +27,17 @@ inline void print_experiment_header(const std::string& id, const std::string& ti
   std::cout << "\n=== " << id << ": " << title << " ===\n";
 }
 
-/// Command-line contract shared by every experiment binary: `--smoke` runs a
-/// tiny configuration (CTest exercises the BENCH_*.json path this way),
-/// `--threads N` sizes the global worker pool driving the parallel hot
-/// paths (0/default = hardware concurrency; --smoke pins 2 unless --threads
-/// is explicit — see docs/THREADING.md), `--cpu scalar|native` pins the
-/// SIMD dispatch tier (default: native when the host supports it, see
-/// docs/CPU_BACKENDS.md), and `--help` documents it. Unknown flags abort so
-/// typos cannot silently run the full-size configuration.
-struct BenchOptions {
-  bool smoke = false;
-  std::uint64_t threads = 0;  // 0 = hardware concurrency
-};
-
-/// Applies a `--cpu` value; exits 2 on anything but scalar|native. Backend
-/// choice only moves wall clock — sim metrics are bit-identical either way.
-inline void apply_cpu_option(std::string_view value, std::string_view name) {
-  if (!cpu::set_backend_name(value)) {
-    std::cerr << name << ": invalid --cpu value '" << value << "' (expected scalar|native)\n";
-    std::exit(2);
-  }
-}
-
-/// Resolves the --smoke/--threads interaction and installs the global pool;
-/// returns the lane count actually in effect (what config.threads reports).
-inline std::size_t apply_thread_options(const BenchOptions& opts) {
-  std::size_t threads = static_cast<std::size_t>(opts.threads);
-  if (threads == 0 && opts.smoke) threads = 2;  // smoke pins 2 for reproducible CI
-  ThreadPool::set_global_threads(threads);
-  return ThreadPool::global().thread_count();
-}
+/// The shared command-line contract now lives in common/flags.h
+/// (ici::BenchOptions / add_bench_flags): every experiment binary and
+/// tools/icisim register --smoke/--threads/--cpu/--seed/--fault-plan from
+/// one place, so a new shared flag registers once.
+using ici::BenchOptions;
 
 inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view name) {
-  BenchOptions opts;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--smoke") {
-      opts.smoke = true;
-    } else if (arg == "--threads" && i + 1 < argc) {
-      opts.threads = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      opts.threads = std::strtoull(std::string(arg.substr(10)).c_str(), nullptr, 10);
-    } else if (arg == "--cpu" && i + 1 < argc) {
-      apply_cpu_option(argv[++i], name);
-    } else if (arg.rfind("--cpu=", 0) == 0) {
-      apply_cpu_option(arg.substr(6), name);
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << name << " [--smoke] [--threads N] [--cpu scalar|native]\n"
-                << "  --smoke      tiny configuration for CI (same tables, same BENCH_" << name
-                << ".json schema)\n"
-                << "  --threads N  worker-pool lanes for the parallel hot paths\n"
-                << "               (default: hardware concurrency; --smoke pins 2)\n"
-                << "  --cpu MODE   SIMD dispatch tier: scalar forces portable kernels,\n"
-                << "               native uses SHA-NI/AVX2 when present (default; also\n"
-                << "               settable via ICI_CPU — see docs/CPU_BACKENDS.md)\n"
-                << "Writes BENCH_" << name << ".json (schema ici-bench-v1) into the current\n"
-                << "directory, or $ICI_BENCH_DIR when set.\n";
-      std::exit(0);
-    } else {
-      std::cerr << name << ": unknown flag " << arg << " (try --help)\n";
-      std::exit(2);
-    }
-  }
-  apply_thread_options(opts);
-  return opts;
+  return parse_bench_options_or_exit(
+      argc, argv, std::string(name),
+      "paper experiment; writes BENCH_" + std::string(name) +
+          ".json (schema ici-bench-v1) into the current directory or $ICI_BENCH_DIR");
 }
 
 /// Stamps the pool size and CPU dispatch tier every ici-bench-v1 artifact

@@ -7,7 +7,10 @@
 //
 // Configuration mirrors the headline setting: ICI cluster size m = 20 with
 // r = 1, RapidChain committee count k_rc = 5, so ICI/RapidChain = k_rc/m = 25%.
+#include <map>
+
 #include "bench_util.h"
+#include "strategy/strategy.h"
 
 using namespace ici;
 using namespace ici::bench;
@@ -40,13 +43,23 @@ int main(int argc, char** argv) {
   for (const std::size_t blocks : block_counts) {
     const Chain chain = make_chain(blocks, kTxsPerBlock, kSeed);
 
-    const auto fullrep = make_fullrep_preloaded(chain, kNodes);
-    const auto rapidchain = make_rapidchain_preloaded(chain, kNodes, kRcCommittees);
-    const auto ici = make_ici_preloaded(chain, kNodes, kIciClusters);
-
-    const double fr = StorageMeter::snapshot(fullrep->stores()).mean_bytes;
-    const double rc = StorageMeter::snapshot(rapidchain->stores()).mean_bytes;
-    const double ic = StorageMeter::snapshot(ici->stores()).mean_bytes;
+    // One pass over the strategy registry (pruned has its own experiment,
+    // E17 — this figure compares the three unbounded-retention systems).
+    std::map<std::string_view, double> per_node;
+    for (const std::string_view name : core::strategy_names()) {
+      if (name == "pruned") continue;
+      core::StrategyConfig scfg;
+      scfg.node_count = kNodes;
+      scfg.groups = name == "rapidchain" ? kRcCommittees : kIciClusters;
+      scfg.fullrep_validate = false;  // storage-only run skips the N UTXO copies
+      const auto strat = core::make_strategy(name, scfg);
+      strat->init(chain.at_height(0));
+      strat->preload(chain);
+      per_node[name] = strat->storage().mean_bytes;
+    }
+    const double fr = per_node.at("fullrep");
+    const double rc = per_node.at("rapidchain");
+    const double ic = per_node.at("ici");
 
     table.row({std::to_string(blocks), format_bytes(static_cast<double>(chain.total_bytes())),
                format_bytes(fr), format_bytes(rc), format_bytes(ic),

@@ -6,7 +6,10 @@
 //  * RapidChain: IDA chunk-flood inside the block's committee;
 //  * ICIStrategy: one body per cluster head + slice fan-out + UTXO lookups
 //    + votes + commit deltas + r storer hand-offs.
+#include <map>
+
 #include "bench_util.h"
+#include "strategy/strategy.h"
 
 using namespace ici;
 using namespace ici::bench;
@@ -16,19 +19,37 @@ namespace {
 struct Sample {
   double bytes_per_block = 0;
   double msgs_per_block = 0;
+  double body_bytes = 0;  // serialized size of the last disseminated block
 };
 
-template <typename Rig>
-Sample measure(Rig& rig, int blocks) {
+/// Drives `blocks` live dissemination rounds through a registry strategy
+/// over a fresh deterministic workload (same shape as the old per-system
+/// rigs: one generator + chain + network sharing a genesis).
+Sample measure(core::Strategy& strat, std::size_t txs_per_block, std::uint64_t seed,
+               int blocks) {
+  ChainGenConfig ccfg;
+  ccfg.txs_per_block = txs_per_block;
+  ccfg.workload.seed = seed;
+  ccfg.workload.wallet_count = 64;
+  ccfg.workload.genesis_outputs_per_wallet = 8;
+  ChainGenerator gen(ccfg);
+
+  Block genesis = gen.workload().make_genesis();
+  gen.workload().confirm(genesis);
+  Chain chain(genesis);
+  strat.init(genesis);
+
   std::uint64_t bytes = 0, msgs = 0;
   for (int i = 0; i < blocks; ++i) {
-    rig.net->network().reset_traffic();
-    rig.step();
-    const auto t = rig.net->network().total_traffic();
+    strat.reset_traffic();
+    chain.append(gen.next_block(chain));
+    strat.ingest(chain.tip());
+    const core::StrategyTraffic t = strat.traffic();
     bytes += t.bytes_sent;
     msgs += t.msgs_sent;
   }
-  return {static_cast<double>(bytes) / blocks, static_cast<double>(msgs) / blocks};
+  return {static_cast<double>(bytes) / blocks, static_cast<double>(msgs) / blocks,
+          static_cast<double>(chain.tip().serialized_size())};
 }
 
 }  // namespace
@@ -57,15 +78,27 @@ int main(int argc, char** argv) {
 
   Table table({"N", "system", "bytes/block", "msgs/block", "body-equivalents"});
   for (const std::size_t n : sizes) {
-    LiveFullRepRig fullrep(n, kTxs, kSeed);
-    const Sample fr = measure(fullrep, kBlocks);
-    const double body = static_cast<double>(fullrep.chain->tip().serialized_size());
-
-    LiveRapidChainRig rapidchain(n, std::max<std::size_t>(1, n / kCommitteeSize), kTxs, kSeed);
-    const Sample rc = measure(rapidchain, kBlocks);
-
-    LiveIciRig ici(n, n / kClusterSize, kTxs, /*replication=*/1, kSeed);
-    const Sample ic = measure(ici, kBlocks);
+    // Registry order (fullrep, rapidchain, ici) matches the historical rig
+    // order, so trace spans and JSON rows line up with pre-registry runs.
+    // Pruned is static (zero dissemination traffic) — not part of this
+    // comparison.
+    std::map<std::string_view, Sample> samples;
+    for (const std::string_view name : core::strategy_names()) {
+      if (name == "pruned") continue;
+      core::StrategyConfig scfg;
+      scfg.node_count = n;
+      scfg.groups = name == "rapidchain" ? std::max<std::size_t>(1, n / kCommitteeSize)
+                                         : n / kClusterSize;
+      // Historical rig seeds: the ICI rig keyed its topology off the
+      // workload seed, the baselines used the facade default.
+      scfg.topology_seed = name == "ici" ? kSeed : 1;
+      const auto strat = core::make_strategy(name, scfg);
+      samples[name] = measure(*strat, kTxs, kSeed, kBlocks);
+    }
+    const Sample& fr = samples.at("fullrep");
+    const Sample& rc = samples.at("rapidchain");
+    const Sample& ic = samples.at("ici");
+    const double body = fr.body_bytes;
 
     table.row({std::to_string(n), "full-rep", format_bytes(fr.bytes_per_block),
                format_double(fr.msgs_per_block, 0), format_double(fr.bytes_per_block / body, 1)});

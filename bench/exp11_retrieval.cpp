@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   std::cout << "N=" << kNodes << ", " << kFetches
             << " random (node, block) fetches per configuration\n\n";
 
-  Table table({"m", "k", "local hits", "remote p50 (ms)", "remote p99 (ms)", "misses"});
+  Table table({"m", "k", "local hits", "remote p50 (ms)", "remote p99 (ms)", "misses",
+               "timeouts", "not found"});
   for (const std::size_t m : cluster_sizes) {
     const std::size_t k = kNodes / m;
     auto net = make_ici_preloaded(chain, kNodes, k);
@@ -43,7 +44,8 @@ int main(int argc, char** argv) {
     table.row({std::to_string(m), std::to_string(k), std::to_string(stats.local_hits),
                format_double(stats.latency_us.p50() / 1000, 2),
                format_double(stats.latency_us.p99() / 1000, 2),
-               std::to_string(stats.misses)});
+               std::to_string(stats.misses()), std::to_string(stats.timeouts),
+               std::to_string(stats.not_found)});
 
     report.add_row("m=" + std::to_string(m))
         .set("cluster_size", m)
@@ -51,7 +53,9 @@ int main(int argc, char** argv) {
         .set("local_hits", stats.local_hits)
         .set("remote_p50_us", stats.latency_us.p50())
         .set("remote_p99_us", stats.latency_us.p99())
-        .set("misses", stats.misses);
+        .set("misses", stats.misses())
+        .set("timeouts", stats.timeouts)
+        .set("not_found", stats.not_found);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: local-hit probability ~r/m falls with m, but the remote "

@@ -57,13 +57,10 @@ int main() {
 
   // 6. Any node can read any block: local hit or one intra-cluster fetch.
   std::cout << "\nFetching block 3 from node 0...\n";
-  network.node(0).fetch_block(chain.at_height(3).hash(), 3,
-                              [](std::shared_ptr<const Block> block, sim::SimTime elapsed) {
-                                std::cout << "  got block with " << block->txs().size()
-                                          << " txs in "
-                                          << format_double(static_cast<double>(elapsed) / 1000.0, 2)
-                                          << " ms\n";
-                              });
+  network.node(0).fetch_block(chain.at_height(3).hash(), 3, [](const core::FetchResult& r) {
+    std::cout << "  got block with " << r.block->txs().size() << " txs in "
+              << format_double(static_cast<double>(r.elapsed_us) / 1000.0, 2) << " ms\n";
+  });
   network.settle();
 
   std::cout << "\nProtocol counters:\n";

@@ -171,6 +171,7 @@ sim::SimTime FullRepNetwork::disseminate_and_settle(const Block& block) {
   nodes_[proposer]->inject_block(std::make_shared<const Block>(block));
   sim_.run();
   metrics::sync_sim_counters(metrics_, sim_);
+  if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
 
   const Spread& spread = spreads_.at(hash);
   if (spread.finished == 0) return 0;  // did not reach everyone
@@ -230,6 +231,23 @@ FullRepNetwork::BootstrapReport FullRepNetwork::bootstrap(sim::Coord coord) {
   report.elapsed_us = sim_.now() - started;
   report.bytes_downloaded = net_->traffic(id).bytes_received;
   return report;
+}
+
+void FullRepNetwork::start_faults(const sim::FaultPlan& plan) {
+  if (faults_) throw std::logic_error("start_faults called twice");
+  faults_ = std::make_unique<sim::FaultInjector>(*net_, plan);
+  std::vector<sim::NodeId> all;
+  all.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) all.push_back(static_cast<sim::NodeId>(i));
+  faults_->start(all, [this](sim::NodeId, bool online) {
+    metrics_.counter(online ? "churn.up" : "churn.down").inc();
+  });
+}
+
+void FullRepNetwork::run_for(sim::SimTime us) {
+  sim_.run_until(sim_.now() + us);
+  metrics::sync_sim_counters(metrics_, sim_);
+  if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
 }
 
 std::vector<const BlockStore*> FullRepNetwork::stores() const {

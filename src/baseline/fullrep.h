@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "metrics/registry.h"
 #include "sim/churn.h"
+#include "sim/faults.h"
 #include "sim/network.h"
 #include "storage/block_store.h"
 
@@ -133,6 +134,15 @@ class FullRepNetwork {
   };
   [[nodiscard]] BootstrapReport bootstrap(sim::Coord coord);
 
+  /// Installs a fault injector (crashes/drops/partitions) over the gossip
+  /// network. Full replication has no repair protocol — offline nodes just
+  /// stop serving. Call at most once.
+  void start_faults(const sim::FaultPlan& plan);
+  [[nodiscard]] const sim::FaultInjector* faults() const { return faults_.get(); }
+
+  /// Runs the simulator for `us` of simulated time and refreshes counters.
+  void run_for(sim::SimTime us);
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] sim::Network& network() { return *net_; }
   [[nodiscard]] metrics::Registry& metrics() { return metrics_; }
@@ -150,6 +160,7 @@ class FullRepNetwork {
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
   std::vector<std::unique_ptr<FullRepNode>> nodes_;
+  std::unique_ptr<sim::FaultInjector> faults_;  // after net_: hook uninstall order
   std::vector<std::vector<sim::NodeId>> peers_;
   std::vector<sim::Coord> coords_;
   metrics::Registry metrics_;

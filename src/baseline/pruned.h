@@ -64,6 +64,10 @@ class PrunedNetwork {
   /// Feeds the whole chain through every node's pruning policy.
   void preload_chain(const Chain& chain);
 
+  /// Appends one block through the pruning policy (incremental ingest; the
+  /// strategy facade feeds blocks one at a time).
+  void apply(const std::shared_ptr<const Block>& block) { node_.apply(block); }
+
   [[nodiscard]] std::size_t node_count() const { return cfg_.node_count; }
   [[nodiscard]] const PrunedNode& node() const { return node_; }
 

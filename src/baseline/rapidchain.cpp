@@ -179,6 +179,7 @@ sim::SimTime RapidChainNetwork::disseminate_and_settle(const Block& block) {
   nodes_[leader]->lead_dissemination(shared);
   sim_.run();
   metrics::sync_sim_counters(metrics_, sim_);
+  if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
 
   pending_.erase(hash);
   const Spread& spread = spreads_.at(hash);
@@ -251,6 +252,23 @@ RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord
                                       static_cast<double>(report.elapsed_us));
   report.bytes_downloaded = net_->traffic(id).bytes_received;
   return report;
+}
+
+void RapidChainNetwork::start_faults(const sim::FaultPlan& plan) {
+  if (faults_) throw std::logic_error("start_faults called twice");
+  faults_ = std::make_unique<sim::FaultInjector>(*net_, plan);
+  std::vector<sim::NodeId> all;
+  all.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) all.push_back(static_cast<sim::NodeId>(i));
+  faults_->start(all, [this](sim::NodeId, bool online) {
+    metrics_.counter(online ? "churn.up" : "churn.down").inc();
+  });
+}
+
+void RapidChainNetwork::run_for(sim::SimTime us) {
+  sim_.run_until(sim_.now() + us);
+  metrics::sync_sim_counters(metrics_, sim_);
+  if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
 }
 
 std::vector<const BlockStore*> RapidChainNetwork::stores() const {

@@ -24,6 +24,7 @@
 
 #include "chain/chain.h"
 #include "metrics/registry.h"
+#include "sim/faults.h"
 #include "sim/network.h"
 #include "storage/block_store.h"
 
@@ -135,6 +136,15 @@ class RapidChainNetwork {
   /// New node joins the committee its id hashes to and downloads the shard.
   [[nodiscard]] BootstrapReport bootstrap(sim::Coord coord);
 
+  /// Installs a fault injector over the committee network. RapidChain's
+  /// intra-committee replication masks crashes until a whole committee is
+  /// down. Call at most once.
+  void start_faults(const sim::FaultPlan& plan);
+  [[nodiscard]] const sim::FaultInjector* faults() const { return faults_.get(); }
+
+  /// Runs the simulator for `us` of simulated time and refreshes counters.
+  void run_for(sim::SimTime us);
+
   [[nodiscard]] std::size_t committee_of_block(const Hash256& hash) const;
   [[nodiscard]] const std::vector<sim::NodeId>& committee_members(std::size_t c) const;
   [[nodiscard]] std::size_t gossip_degree() const { return cfg_.gossip_degree; }
@@ -157,6 +167,7 @@ class RapidChainNetwork {
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
   std::vector<std::unique_ptr<RapidChainNode>> nodes_;
+  std::unique_ptr<sim::FaultInjector> faults_;  // after net_: hook uninstall order
   std::vector<std::vector<sim::NodeId>> committees_;
   std::vector<sim::Coord> coords_;
   metrics::Registry metrics_;

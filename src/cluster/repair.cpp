@@ -36,4 +36,20 @@ RepairPlan plan_repair(const std::vector<BlockRef>& ledger, const std::vector<No
   return plan;
 }
 
+RepairDaemon::RepairDaemon(sim::Simulator& sim, sim::SimTime interval_us,
+                           sim::SimTime until_us, std::function<void()> pass)
+    : sim_(sim), interval_us_(interval_us), until_us_(until_us), pass_(std::move(pass)) {}
+
+void RepairDaemon::start() {
+  if (interval_us_ == 0 || sim_.now() + interval_us_ > until_us_) return;
+  sim_.after(interval_us_, [this] { tick(); });
+}
+
+void RepairDaemon::tick() {
+  ++passes_;
+  pass_();
+  if (sim_.now() + interval_us_ > until_us_) return;
+  sim_.after(interval_us_, [this] { tick(); });
+}
+
 }  // namespace ici::cluster

@@ -3,10 +3,12 @@
 // and copying any block whose storer set lost the departed node.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "cluster/assignment.h"
 #include "cluster/directory.h"
+#include "sim/simulator.h"
 
 namespace ici::cluster {
 
@@ -35,5 +37,30 @@ struct RepairPlan {
     const std::vector<BlockRef>& ledger, const std::vector<NodeInfo>& alive,
     const BlockAssigner& assigner, std::size_t replication,
     const std::function<bool(NodeId, const Hash256&)>& holds);
+
+/// Background repair process: runs `pass` every `interval_us` of simulated
+/// time until `until_us`, so a network under churn re-replicates lost slices
+/// continuously instead of only reacting to individual churn events. The
+/// horizon is mandatory — an unbounded periodic event would keep settle()
+/// (which drains the queue) from ever returning.
+class RepairDaemon {
+ public:
+  RepairDaemon(sim::Simulator& sim, sim::SimTime interval_us, sim::SimTime until_us,
+               std::function<void()> pass);
+
+  /// Schedules the first tick. No-op when the horizon is already past.
+  void start();
+
+  [[nodiscard]] std::uint64_t passes() const { return passes_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  sim::SimTime interval_us_;
+  sim::SimTime until_us_;
+  std::function<void()> pass_;
+  std::uint64_t passes_ = 0;
+};
 
 }  // namespace ici::cluster

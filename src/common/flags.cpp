@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
+
+#include "common/cpudispatch.h"
+#include "common/thread_pool.h"
 
 namespace ici {
 
@@ -114,6 +118,52 @@ bool FlagParser::parse(int argc, const char* const* argv, std::string* error) {
   }
   if (error != nullptr) error->clear();
   return true;
+}
+
+void add_bench_flags(FlagParser& parser, BenchOptions* opts) {
+  parser.add_bool("smoke", &opts->smoke,
+                  "tiny configuration for CI (same tables, same BENCH_*.json schema)");
+  parser.add_uint("threads", &opts->threads,
+                  "worker-pool lanes for the parallel hot paths (0 = hardware "
+                  "concurrency; --smoke pins 2)");
+  parser.add_string("cpu", &opts->cpu,
+                    "SIMD dispatch tier: scalar forces portable kernels, native uses "
+                    "SHA-NI/AVX2 when present (also settable via ICI_CPU)");
+  parser.add_uint("seed", &opts->seed, "deterministic seed");
+  parser.add_string("fault-plan", &opts->fault_plan,
+                    "fault-injection spec, e.g. seed=7,crash=0.3,drop=0.1 "
+                    "(see docs/FAULTS.md; empty = faults disabled)");
+}
+
+std::size_t apply_bench_options(const BenchOptions& opts, const std::string& program) {
+  if (!opts.cpu.empty() && !cpu::set_backend_name(opts.cpu)) {
+    std::cerr << program << ": invalid --cpu value '" << opts.cpu
+              << "' (expected scalar|native)\n";
+    std::exit(2);
+  }
+  std::size_t threads = static_cast<std::size_t>(opts.threads);
+  if (threads == 0 && opts.smoke) threads = 2;  // smoke pins 2 for reproducible CI
+  ThreadPool::set_global_threads(threads);
+  return ThreadPool::global().thread_count();
+}
+
+BenchOptions parse_bench_options_or_exit(int argc, const char* const* argv,
+                                         const std::string& program,
+                                         const std::string& description) {
+  BenchOptions opts;
+  FlagParser parser(program, description);
+  add_bench_flags(parser, &opts);
+  std::string error;
+  if (!parser.parse(argc, argv, &error)) {
+    if (error.empty()) {  // --help
+      std::cout << parser.usage();
+      std::exit(0);
+    }
+    std::cerr << program << ": " << error << " (try --help)\n";
+    std::exit(2);
+  }
+  apply_bench_options(opts, program);
+  return opts;
 }
 
 std::string FlagParser::usage() const {

@@ -45,4 +45,35 @@ class FlagParser {
   std::vector<Flag> flags_;
 };
 
+/// Command-line contract shared by every experiment binary and scenario
+/// tool: `--smoke` runs a tiny configuration (CTest exercises the
+/// BENCH_*.json path this way), `--threads N` sizes the global worker pool
+/// (0 = hardware concurrency; --smoke pins 2 unless --threads is explicit),
+/// `--cpu scalar|native` pins the SIMD dispatch tier, `--seed` feeds the
+/// deterministic generators, and `--fault-plan SPEC` installs a
+/// sim::FaultPlan (see docs/FAULTS.md; empty = faults disabled). A new
+/// shared flag registers once in add_bench_flags instead of in every
+/// binary.
+struct BenchOptions {
+  bool smoke = false;
+  std::uint64_t threads = 0;  // 0 = hardware concurrency
+  std::string cpu;            // "" = keep the default dispatch tier
+  std::uint64_t seed = 42;
+  std::string fault_plan;  // sim::FaultPlan::parse spec ("" = disabled)
+};
+
+/// Registers the shared bench flags on `parser`, bound to `*opts`.
+void add_bench_flags(FlagParser& parser, BenchOptions* opts);
+
+/// Applies the parsed options (SIMD dispatch tier, worker-pool lanes);
+/// exits 2 on an invalid --cpu value. Returns the lane count in effect.
+std::size_t apply_bench_options(const BenchOptions& opts, const std::string& program);
+
+/// One-call helper for bench main(): registers the shared flags, parses
+/// argv (usage + exit 0 on --help, error + exit 2 on failure), applies the
+/// options, and returns them.
+[[nodiscard]] BenchOptions parse_bench_options_or_exit(int argc, const char* const* argv,
+                                                       const std::string& program,
+                                                       const std::string& description);
+
 }  // namespace ici

@@ -50,11 +50,26 @@ struct IciConfig {
   /// A fetching node tries the next candidate storer after this long.
   sim::SimTime fetch_timeout_us = 10'000'000;
 
+  /// Extra full passes over the candidate list after the first exhausts
+  /// (retry-with-backoff for lossy networks; E20 enables it under message
+  /// drops). 0 = one pass then give up — the fault-free default, which
+  /// keeps sim metrics bit-identical with pre-fault builds.
+  std::size_t fetch_retry_rounds = 0;
+
+  /// Per-attempt timeout multiplier applied on each retry round.
+  double fetch_retry_backoff = 2.0;
+
   /// When a block's own-cluster holders are all unreachable, fall back to
   /// the storers of other clusters (the network keeps k copies — one per
   /// cluster). Costs a wider-area fetch but turns cluster-local outages
   /// into latency instead of misses.
   bool cross_cluster_fallback = true;
+
+  /// Repair may also pull blocks a cluster lost entirely (every local holder
+  /// crashed) from another cluster's storers, restoring the "every cluster
+  /// retains a complete ledger" invariant instead of waiting for holders to
+  /// return. Off by default so fault-free repair metrics stay unchanged.
+  bool cross_cluster_repair = false;
 
   /// Deterministic seeds for clustering / placement.
   std::uint64_t seed = 1;

@@ -181,6 +181,13 @@ void IciNetwork::disseminate(const Block& block) {
 void IciNetwork::settle() {
   sim_.run();
   metrics::sync_sim_counters(metrics_, sim_);
+  if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+}
+
+void IciNetwork::run_for(sim::SimTime us) {
+  sim_.run_until(sim_.now() + us);
+  metrics::sync_sim_counters(metrics_, sim_);
+  if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
 }
 
 sim::SimTime IciNetwork::disseminate_and_settle(const Block& block) {
@@ -263,6 +270,22 @@ void IciNetwork::start_churn(sim::ChurnConfig cfg) {
   churn_->start(all, [this](NodeId id, bool online) { handle_churn_event(id, online); });
 }
 
+void IciNetwork::start_faults(const sim::FaultPlan& plan) {
+  if (faults_) throw std::logic_error("start_faults called twice");
+  faults_ = std::make_unique<sim::FaultInjector>(*net_, plan);
+  std::vector<NodeId> all;
+  all.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) all.push_back(static_cast<NodeId>(i));
+  faults_->start(all, [this](NodeId id, bool online) { handle_churn_event(id, online); });
+}
+
+void IciNetwork::start_repair_daemon(sim::SimTime interval_us, sim::SimTime until_us) {
+  repair_daemon_ = std::make_unique<cluster::RepairDaemon>(sim_, interval_us, until_us, [this] {
+    for (std::size_t c = 0; c < directory_->cluster_count(); ++c) repair_cluster(c);
+  });
+  repair_daemon_->start();
+}
+
 void IciNetwork::handle_churn_event(NodeId id, bool online) {
   directory_->set_online(id, online);
   metrics_.counter(online ? "churn.up" : "churn.down").inc();
@@ -287,7 +310,35 @@ void IciNetwork::repair_cluster(std::size_t cluster) {
     nodes_[action.target]->pull_from(action.source, action.block_hash);
     metrics_.counter("repair.copies_started").inc();
   }
-  metrics_.counter("repair.unavailable_blocks").inc(plan.lost.size());
+
+  // Blocks every local holder lost: optionally restore them from another
+  // cluster's storers (the network keeps one copy per cluster), so a cluster
+  // wiped out by crashes regains its full ledger instead of waiting for
+  // holders to come back.
+  std::size_t unrecoverable = plan.lost.size();
+  if (cfg_.ici.cross_cluster_repair && !plan.lost.empty() && !alive.empty()) {
+    for (const cluster::BlockRef& ref : plan.lost) {
+      NodeId source = cluster::kNoNode;
+      for (std::size_t other = 0; other < directory_->cluster_count() && source == cluster::kNoNode;
+           ++other) {
+        if (other == cluster) continue;
+        for (NodeId id : storers_of(ref.hash, ref.height, other, /*online_only=*/true)) {
+          if (nodes_[id]->store().has_block(ref.hash)) {
+            source = id;
+            break;
+          }
+        }
+      }
+      if (source == cluster::kNoNode) continue;  // lost network-wide
+      const std::vector<NodeId> want =
+          assigner_->storers(ref.hash, ref.height, alive, cfg_.ici.replication);
+      if (want.empty()) continue;
+      nodes_[want.front()]->pull_from(source, ref.hash);
+      metrics_.counter("repair.cross_cluster_copies").inc();
+      --unrecoverable;
+    }
+  }
+  metrics_.counter("repair.unavailable_blocks").inc(unrecoverable);
 }
 
 void IciNetwork::repair_cluster_coded(std::size_t cluster) {

@@ -21,6 +21,7 @@
 #include "ici/node.h"
 #include "metrics/registry.h"
 #include "sim/churn.h"
+#include "sim/faults.h"
 #include "storage/storage_meter.h"
 
 namespace ici::core {
@@ -70,6 +71,22 @@ class IciNetwork {
   /// Starts churn over all nodes; offline/online transitions trigger the
   /// repair protocol (actual copy traffic).
   void start_churn(sim::ChurnConfig cfg);
+
+  /// Installs a fault injector (crashes, drops, duplicates, partitions) over
+  /// the simulated network. Crash/restart transitions update the directory
+  /// and trigger repair just like churn. Call at most once, before running.
+  void start_faults(const sim::FaultPlan& plan);
+  [[nodiscard]] const sim::FaultInjector* faults() const { return faults_.get(); }
+
+  /// Starts a background repair daemon: every `interval_us` of sim time a
+  /// full repair pass runs over every cluster, re-replicating slices lost to
+  /// crashes. Bounded by `until_us` so settle()'s drain terminates.
+  void start_repair_daemon(sim::SimTime interval_us, sim::SimTime until_us);
+
+  /// Runs the simulator for `us` of simulated time (events may remain) and
+  /// refreshes the mirrored sim/fault counters. Fault experiments advance in
+  /// windows like this to sample availability over time.
+  void run_for(sim::SimTime us);
 
   /// Availability snapshot: fraction of (cluster, committed block) pairs
   /// with at least one online holder.
@@ -186,6 +203,10 @@ class IciNetwork {
   std::unique_ptr<cluster::BlockAssigner> shard_owner_assigner_;  // unweighted, r=1
   std::vector<std::unique_ptr<IciNode>> nodes_;
   std::unique_ptr<sim::ChurnModel> churn_;
+  // Declared after net_ so it uninstalls its network hook before the
+  // network dies.
+  std::unique_ptr<sim::FaultInjector> faults_;
+  std::unique_ptr<cluster::RepairDaemon> repair_daemon_;
   std::unique_ptr<erasure::ReedSolomon> codec_;
   metrics::Registry metrics_;
 

@@ -230,6 +230,9 @@ void IciNode::start_cluster_verification(std::shared_ptr<const Block> block) {
     const auto need = static_cast<std::size_t>(std::ceil(
         ctx_.config().vote_quorum *
         static_cast<double>(std::max<std::size_t>(pv.votes_received, 1))));
+    if (pv.expected > pv.votes_received) {
+      ctx_.metrics().counter("verify.votes_missing").inc(pv.expected - pv.votes_received);
+    }
     if (pv.challenges_pending == 0 && pv.approvals > 0 && pv.approvals >= need) {
       commit_block(hash);
     } else {
@@ -241,7 +244,6 @@ void IciNode::start_cluster_verification(std::shared_ptr<const Block> block) {
 }
 
 void IciNode::handle_vote(sim::NodeId from, const VoteMsg& msg) {
-  (void)from;
   const auto it = verifying_.find(msg.block_hash);
   if (it == verifying_.end()) {
     ctx_.metrics().counter("verify.late_votes").inc();
@@ -251,6 +253,13 @@ void IciNode::handle_vote(sim::NodeId from, const VoteMsg& msg) {
       vote_payload(msg.block_hash, msg.approve, msg.slice_digest, msg.challenged_txid);
   if (!verify(msg.voter, payload, msg.sig)) {
     ctx_.metrics().counter("verify.bad_vote_sig").inc();
+    return;
+  }
+  // One vote per member: injected duplicate deliveries (sim/faults.h) must
+  // not inflate the tally. Fault-free runs never see a second copy, so this
+  // guard leaves their metrics untouched.
+  if (!it->second.voters.insert(from).second) {
+    ctx_.metrics().counter("verify.duplicate_votes").inc();
     return;
   }
   ++it->second.votes_received;
@@ -722,23 +731,57 @@ void IciNode::handle_block_response(sim::NodeId from, const BlockResponseMsg& ms
   PendingFetch& pf = it->second;
 
   if (msg.block && msg.block->hash() == pf.hash && msg.block->merkle_ok()) {
-    pf.done = true;
-    const sim::SimTime elapsed = ctx_.simulator().now() - pf.started;
-    ctx_.metrics().distribution("retrieval.latency_us").add(static_cast<double>(elapsed));
-    obs::TraceSink::global().record_sim("retrieval/fetch", static_cast<double>(elapsed));
-    if (pf.cb) pf.cb(msg.block, elapsed);
-    fetches_.erase(it);
+    finish_fetch(msg.request_id, msg.block);
     return;
   }
   // Miss or corrupt: fall through to the next candidate.
   try_next_candidate(msg.request_id);
 }
 
+/// Single exit point for a replication-mode fetch: builds the FetchResult,
+/// updates the retrieval counters, and fires the callback exactly once.
+void IciNode::finish_fetch(std::uint64_t request_id, std::shared_ptr<const Block> block) {
+  const auto it = fetches_.find(request_id);
+  if (it == fetches_.end() || it->second.done) return;
+  PendingFetch& pf = it->second;
+  pf.done = true;
+
+  FetchResult result;
+  result.block = std::move(block);
+  result.elapsed_us = ctx_.simulator().now() - pf.started;
+  result.attempts = pf.attempts;
+  result.timeouts = pf.timeouts;
+  result.retry_rounds = pf.rounds_used;
+  if (result.block) {
+    result.outcome = FetchOutcome::kRemote;
+    ctx_.metrics().distribution("retrieval.latency_us").add(
+        static_cast<double>(result.elapsed_us));
+    obs::TraceSink::global().record_sim("retrieval/fetch",
+                                        static_cast<double>(result.elapsed_us));
+  } else {
+    // A fetch where every candidate answered "don't have it" is a genuine
+    // not-found; any unanswered attempt makes the verdict a timeout (the
+    // block may exist behind the silence).
+    result.outcome = pf.timeouts > 0 ? FetchOutcome::kTimeout : FetchOutcome::kNotFound;
+    ctx_.metrics().counter("retrieval.misses").inc();
+    ctx_.metrics()
+        .counter(pf.timeouts > 0 ? "retrieval.timeouts" : "retrieval.not_found")
+        .inc();
+  }
+  if (pf.cb) pf.cb(result);
+  fetches_.erase(it);
+}
+
 void IciNode::fetch_block(const Hash256& hash, std::uint64_t height, FetchCallback cb) {
   // Local hit: no traffic, zero latency.
   if (auto b = store_.block_ptr(hash); b != nullptr) {
     ctx_.metrics().counter("retrieval.local_hits").inc();
-    if (cb) cb(std::move(b), 0);
+    if (cb) {
+      FetchResult result;
+      result.block = std::move(b);
+      result.outcome = FetchOutcome::kLocal;
+      cb(result);
+    }
     return;
   }
   if (ctx_.coded()) {
@@ -758,6 +801,8 @@ void IciNode::fetch_block(const Hash256& hash, std::uint64_t height, FetchCallba
   pf.hash = hash;
   pf.candidates = std::move(candidates);
   pf.started = ctx_.simulator().now();
+  pf.timeout_us = ctx_.config().fetch_timeout_us;
+  pf.rounds_left = static_cast<std::uint32_t>(ctx_.config().fetch_retry_rounds);
   pf.cb = std::move(cb);
   fetches_.emplace(rid, std::move(pf));
   try_next_candidate(rid);
@@ -769,10 +814,13 @@ void IciNode::pull_from(sim::NodeId source, const Hash256& hash) {
   pf.hash = hash;
   pf.candidates = {source};
   pf.started = ctx_.simulator().now();
-  pf.cb = [this](std::shared_ptr<const Block> block, sim::SimTime) {
-    if (block) {
-      store_.put_block(std::move(block));
+  pf.timeout_us = ctx_.config().fetch_timeout_us;
+  pf.rounds_left = static_cast<std::uint32_t>(ctx_.config().fetch_retry_rounds);
+  pf.cb = [this](const FetchResult& r) {
+    if (r.block) {
       ctx_.metrics().counter("repair.copies_completed").inc();
+      ctx_.metrics().counter("repair.bytes_copied").inc(r.block->serialized_size());
+      store_.put_block(r.block);
     } else {
       ctx_.metrics().counter("repair.copies_failed").inc();
     }
@@ -787,26 +835,41 @@ void IciNode::try_next_candidate(std::uint64_t request_id) {
   PendingFetch& pf = it->second;
 
   if (pf.next_candidate >= pf.candidates.size()) {
-    pf.done = true;
-    ctx_.metrics().counter("retrieval.misses").inc();
-    if (pf.cb) pf.cb(nullptr, ctx_.simulator().now() - pf.started);
-    fetches_.erase(it);
-    return;
+    if (pf.rounds_left > 0 && !pf.candidates.empty()) {
+      // Retry-with-backoff: another full pass over the candidate list with a
+      // longer per-attempt timeout. Candidates that merely dropped our
+      // request or response (message faults) get a second chance.
+      --pf.rounds_left;
+      ++pf.rounds_used;
+      pf.next_candidate = 0;
+      pf.timeout_us = static_cast<sim::SimTime>(
+          static_cast<double>(pf.timeout_us) * ctx_.config().fetch_retry_backoff);
+      ctx_.metrics().counter("retrieval.retry_rounds").inc();
+    } else {
+      finish_fetch(request_id, nullptr);
+      return;
+    }
   }
 
   const NodeId target = pf.candidates[pf.next_candidate++];
+  ++pf.attempts;
   const std::size_t attempt = pf.next_candidate;
+  const std::uint32_t round = pf.rounds_used;
   auto req = std::make_shared<BlockRequestMsg>();
   req->block_hash = pf.hash;
   req->request_id = request_id;
   ctx_.network().send(id_, target, std::move(req));
 
-  ctx_.simulator().after(ctx_.config().fetch_timeout_us, [this, request_id, attempt] {
+  ctx_.simulator().after(pf.timeout_us, [this, request_id, attempt, round] {
     const auto pending = fetches_.find(request_id);
     if (pending == fetches_.end() || pending->second.done) return;
     // Only advance if this attempt is still the live one (a miss response
-    // may already have moved the fetch along).
-    if (pending->second.next_candidate != attempt) return;
+    // may already have moved the fetch along, or a retry round restarted
+    // the candidate list).
+    if (pending->second.next_candidate != attempt || pending->second.rounds_used != round)
+      return;
+    ++pending->second.timeouts;
+    ctx_.metrics().counter("retrieval.attempt_timeouts").inc();
     try_next_candidate(request_id);
   });
 }
@@ -847,6 +910,8 @@ void IciNode::fetch_block_coded(const Hash256& hash, std::uint64_t height, Fetch
   pf.height = height;
   pf.have.assign(ctx_.codec().total_shards(), false);
   pf.started = ctx_.simulator().now();
+  pf.timeout_us = ctx_.config().fetch_timeout_us;
+  pf.rounds_left = static_cast<std::uint32_t>(ctx_.config().fetch_retry_rounds);
   pf.store_index = store_index;
   pf.cb = std::move(cb);
 
@@ -881,15 +946,38 @@ void IciNode::fetch_block_coded(const Hash256& hash, std::uint64_t height, Fetch
 
   coded_fetches_.emplace(rid, std::move(pf));
   pump_coded_fetch(rid);
+  arm_coded_deadline(rid);
+}
 
-  const auto it = coded_fetches_.find(rid);
-  if (it != coded_fetches_.end() && !it->second.done) {
-    ctx_.simulator().after(ctx_.config().fetch_timeout_us, [this, rid] {
-      const auto pending = coded_fetches_.find(rid);
-      if (pending == coded_fetches_.end() || pending->second.done) return;
-      finish_coded_fetch(rid);  // decide on whatever arrived
-    });
-  }
+void IciNode::arm_coded_deadline(std::uint64_t request_id) {
+  const auto it = coded_fetches_.find(request_id);
+  if (it == coded_fetches_.end() || it->second.done) return;
+  const std::uint32_t round = it->second.rounds_used;
+  ctx_.simulator().after(it->second.timeout_us, [this, request_id, round] {
+    const auto pending = coded_fetches_.find(request_id);
+    if (pending == coded_fetches_.end() || pending->second.done) return;
+    PendingCodedFetch& pf = pending->second;
+    if (pf.rounds_used != round) return;  // a newer round re-armed already
+    if (pf.collected.size() < ctx_.codec().data_shards() && pf.rounds_left > 0 &&
+        !pf.candidates.empty()) {
+      // Retry-with-backoff: every in-flight request at the deadline counts
+      // as timed out; re-walk the candidate list (collected shards are
+      // kept, so only the shortfall is re-requested).
+      --pf.rounds_left;
+      ++pf.rounds_used;
+      pf.timeouts += static_cast<std::uint32_t>(pf.outstanding);
+      pf.outstanding = 0;
+      pf.next_candidate = 0;
+      pf.timeout_us = static_cast<sim::SimTime>(
+          static_cast<double>(pf.timeout_us) * ctx_.config().fetch_retry_backoff);
+      ctx_.metrics().counter("retrieval.retry_rounds").inc();
+      pump_coded_fetch(request_id);
+      arm_coded_deadline(request_id);
+      return;
+    }
+    pf.timeouts += static_cast<std::uint32_t>(pf.outstanding);
+    finish_coded_fetch(request_id);  // decide on whatever arrived
+  });
 }
 
 void IciNode::pump_coded_fetch(std::uint64_t request_id) {
@@ -911,6 +999,7 @@ void IciNode::pump_coded_fetch(std::uint64_t request_id) {
     req->request_id = request_id;
     ctx_.network().send(id_, pf.candidates[pf.next_candidate++], std::move(req));
     ++pf.outstanding;
+    ++pf.attempts;
   }
   if (pf.outstanding == 0) finish_coded_fetch(request_id);  // exhausted
 }
@@ -966,9 +1055,27 @@ void IciNode::finish_coded_fetch(std::uint64_t request_id) {
     }
   } else {
     ctx_.metrics().counter("retrieval.misses").inc();
+    ctx_.metrics()
+        .counter(pf.timeouts > 0 || pf.outstanding > 0 ? "retrieval.timeouts"
+                                                       : "retrieval.not_found")
+        .inc();
     if (pf.store_index) ctx_.metrics().counter("repair.shards_failed").inc();
   }
-  if (pf.cb) pf.cb(std::move(result), elapsed);
+
+  FetchResult fetched;
+  fetched.elapsed_us = elapsed;
+  fetched.attempts = pf.attempts;
+  fetched.timeouts = pf.timeouts;
+  fetched.retry_rounds = pf.rounds_used;
+  if (result) {
+    fetched.block = std::move(result);
+    // Zero requests means the node reconstructed from its own shards.
+    fetched.outcome = pf.attempts == 0 ? FetchOutcome::kLocal : FetchOutcome::kRemote;
+  } else {
+    fetched.outcome = pf.timeouts > 0 || pf.outstanding > 0 ? FetchOutcome::kTimeout
+                                                            : FetchOutcome::kNotFound;
+  }
+  if (pf.cb) pf.cb(fetched);
   coded_fetches_.erase(it);
 }
 
@@ -1002,14 +1109,13 @@ void IciNode::fetch_proof(const Hash256& txid, const Hash256& hash, std::uint64_
     const sim::SimTime started = ctx_.simulator().now();
     fetch_block_coded(
         hash, height,
-        [this, txid, cb = std::move(cb), started](std::shared_ptr<const Block> block,
-                                                  sim::SimTime) {
+        [this, txid, cb = std::move(cb), started](const FetchResult& r) {
           if (!cb) return;
-          if (!block) {
+          if (!r.block) {
             cb(std::nullopt, ctx_.simulator().now() - started);
             return;
           }
-          cb(spv::build_proof(*block, txid), ctx_.simulator().now() - started);
+          cb(spv::build_proof(*r.block, txid), ctx_.simulator().now() - started);
         },
         std::nullopt);
     return;
@@ -1213,9 +1319,9 @@ void IciNode::handle_headers_response(sim::NodeId from, const HeadersResponseMsg
     return;
   }
   bootstrap_->outstanding = wanted.size();
-  const auto on_fetched = [this](std::shared_ptr<const Block> block, sim::SimTime) {
+  const auto on_fetched = [this](const FetchResult& r) {
     if (!bootstrap_) return;
-    if (block) {
+    if (r.block) {
       ++bootstrap_->bodies_fetched;
     } else {
       ctx_.metrics().counter("bootstrap.fetch_failed").inc();
@@ -1235,11 +1341,10 @@ void IciNode::handle_headers_response(sim::NodeId from, const HeadersResponseMsg
       // Coded: reconstruct once, keep only the assigned shard.
       fetch_block_coded(w.hash, w.height, on_fetched, w.shard_index);
     } else {
-      fetch_block(w.hash, w.height,
-                  [this, on_fetched](std::shared_ptr<const Block> block, sim::SimTime t) {
-                    if (block) store_.put_block(block);
-                    on_fetched(std::move(block), t);
-                  });
+      fetch_block(w.hash, w.height, [this, on_fetched](const FetchResult& r) {
+        if (r.block) store_.put_block(r.block);
+        on_fetched(r);
+      });
     }
   }
 }

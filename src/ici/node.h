@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "chain/validator.h"
 #include "cluster/node_info.h"
@@ -28,6 +29,30 @@
 namespace ici::core {
 
 class IciNetwork;
+
+/// How a block fetch concluded.
+enum class FetchOutcome : std::uint8_t {
+  kLocal,     // served from this node's own store/shards, zero traffic
+  kRemote,    // served by a peer (possibly after failover/retries)
+  kTimeout,   // at least one candidate never answered before the deadline
+  kNotFound,  // every candidate answered and none could serve the block
+};
+
+/// Rich fetch result: the body (null on failure), elapsed sim time, how the
+/// fetch concluded, and how hard the fetcher worked for it. Replaces the old
+/// (block, elapsed) callback pair so callers can tell timeouts from genuine
+/// misses and see the retry/failover effort under faults.
+struct FetchResult {
+  std::shared_ptr<const Block> block;
+  sim::SimTime elapsed_us = 0;
+  FetchOutcome outcome = FetchOutcome::kNotFound;
+  std::uint32_t attempts = 0;      // candidate requests issued
+  std::uint32_t timeouts = 0;      // attempts that expired unanswered
+  std::uint32_t retry_rounds = 0;  // extra passes over the candidate list
+
+  [[nodiscard]] bool ok() const { return block != nullptr; }
+  explicit operator bool() const { return ok(); }
+};
 
 /// Scripted misbehaviour for robustness experiments. A faulty node still
 /// follows the wire protocol (so honest peers cannot trivially ignore it)
@@ -56,9 +81,10 @@ class IciNode final : public sim::INode {
   /// Proposer entry point: ships the block to every cluster's current head.
   void propose(const Block& block);
 
-  /// Fetches a block body from its cluster storers; cb fires with the block
-  /// (or null after all candidates failed) and the elapsed sim time.
-  using FetchCallback = std::function<void(std::shared_ptr<const Block>, sim::SimTime)>;
+  /// Fetches a block body from its cluster storers with candidate failover
+  /// and (when IciConfig::fetch_retry_rounds > 0) retry-with-backoff; cb
+  /// fires exactly once with the full FetchResult.
+  using FetchCallback = std::function<void(const FetchResult&)>;
   void fetch_block(const Hash256& hash, std::uint64_t height, FetchCallback cb);
 
   /// Direct copy used by repair: pull `hash` from `source`.
@@ -129,6 +155,7 @@ class IciNode final : public sim::INode {
     std::shared_ptr<const Block> block;
     std::size_t expected = 0;
     std::size_t votes_received = 0;  // every valid vote, however it counted
+    std::unordered_set<sim::NodeId> voters;  // dedupes injected duplicates
     std::size_t approvals = 0;
     std::size_t rejections = 0;      // unsubstantiated rejections only
     std::size_t challenges_pending = 0;  // commits wait for open challenges
@@ -186,10 +213,16 @@ class IciNode final : public sim::INode {
     std::vector<sim::NodeId> candidates;  // fallback order
     std::size_t next_candidate = 0;
     sim::SimTime started = 0;
+    sim::SimTime timeout_us = 0;      // per-attempt; grows by the backoff
+    std::uint32_t attempts = 0;
+    std::uint32_t timeouts = 0;
+    std::uint32_t rounds_left = 0;    // retry passes still allowed
+    std::uint32_t rounds_used = 0;
     FetchCallback cb;
     bool done = false;
   };
   void try_next_candidate(std::uint64_t request_id);
+  void finish_fetch(std::uint64_t request_id, std::shared_ptr<const Block> block);
 
   // -- coded mode ---------------------------------------------------------
   void handle_block_shard(sim::NodeId from, const BlockShardMsg& msg);
@@ -208,12 +241,20 @@ class IciNode final : public sim::INode {
     std::size_t next_candidate = 0;
     std::size_t outstanding = 0;
     sim::SimTime started = 0;
+    sim::SimTime timeout_us = 0;
+    std::uint32_t attempts = 0;
+    std::uint32_t timeouts = 0;  // requests outstanding at an expired deadline
+    std::uint32_t rounds_left = 0;
+    std::uint32_t rounds_used = 0;
     std::optional<std::uint32_t> store_index;  // repair: keep this shard
     FetchCallback cb;
     bool done = false;
   };
   /// Issues shard requests until (in-flight + collected) covers d.
   void pump_coded_fetch(std::uint64_t request_id);
+  /// Arms the decide-on-what-arrived deadline; a retry round re-arms it with
+  /// the backed-off timeout instead of finishing.
+  void arm_coded_deadline(std::uint64_t request_id);
 
   // -- SPV proof serving ----------------------------------------------------
   void handle_proof_request(sim::NodeId from, const ProofRequestMsg& msg);

@@ -1,15 +1,23 @@
 #include "ici/retrieval.h"
 
+#include <memory>
+
 #include "common/rng.h"
 
 namespace ici::core {
 
-RetrievalStats RetrievalDriver::run(IciNetwork& net, std::size_t count, std::uint64_t seed) {
-  RetrievalStats stats;
+RetrievalStats RetrievalDriver::run(IciNetwork& net, std::size_t count, std::uint64_t seed,
+                                    sim::SimTime step_us, std::size_t max_steps) {
+  // Shared accumulator: with a bounded step budget a fetch can (in theory)
+  // outlive the loop below; its late completion then writes into this
+  // still-alive accumulator instead of a dead stack frame, and only the
+  // snapshot taken at return is reported.
+  auto acc = std::make_shared<RetrievalStats>();
   const auto& committed = net.committed();
-  if (committed.empty() || count == 0) return stats;
+  if (committed.empty() || count == 0) return *acc;
 
   Rng rng(seed);
+  std::size_t unresolved = 0;
   for (std::size_t i = 0; i < count; ++i) {
     // Pick an online requester.
     cluster::NodeId requester = cluster::kNoNode;
@@ -24,23 +32,44 @@ RetrievalStats RetrievalDriver::run(IciNetwork& net, std::size_t count, std::uin
     if (requester == cluster::kNoNode) break;
 
     const auto& block = committed[rng.index(committed.size())];
-    net.node(requester).fetch_block(
-        block.hash, block.height,
-        [&stats](std::shared_ptr<const Block> b, sim::SimTime elapsed) {
-          if (!b) {
-            ++stats.misses;
-          } else if (elapsed == 0) {
-            ++stats.local_hits;
-          } else {
-            ++stats.remote_hits;
-            stats.latency_us.add(static_cast<double>(elapsed));
-          }
-        });
-    // Settle each fetch before issuing the next so latencies do not contend
-    // on uplinks (the experiment isolates retrieval latency).
-    net.settle();
+    auto done = std::make_shared<bool>(false);
+    net.node(requester).fetch_block(block.hash, block.height,
+                                    [acc, done](const FetchResult& r) {
+                                      *done = true;
+                                      acc->retry_rounds += r.retry_rounds;
+                                      acc->attempt_timeouts += r.timeouts;
+                                      switch (r.outcome) {
+                                        case FetchOutcome::kLocal:
+                                          ++acc->local_hits;
+                                          break;
+                                        case FetchOutcome::kRemote:
+                                          ++acc->remote_hits;
+                                          acc->latency_us.add(
+                                              static_cast<double>(r.elapsed_us));
+                                          break;
+                                        case FetchOutcome::kTimeout:
+                                          ++acc->timeouts;
+                                          break;
+                                        case FetchOutcome::kNotFound:
+                                          ++acc->not_found;
+                                          break;
+                                      }
+                                    });
+    if (step_us == 0) {
+      // Settle each fetch before issuing the next so latencies do not
+      // contend on uplinks (the experiment isolates retrieval latency).
+      // Requires a quiescent simulation with no recurring events.
+      net.settle();
+    } else {
+      // Bounded advance for runs with recurring events (faults/churn): the
+      // queue never drains, so step the clock until the fetch resolves.
+      for (std::size_t s = 0; s < max_steps && !*done; ++s) net.run_for(step_us);
+      if (!*done) ++unresolved;
+    }
   }
-  return stats;
+  RetrievalStats out = *acc;
+  out.timeouts += unresolved;  // still in flight past the budget = timed out
+  return out;
 }
 
 }  // namespace ici::core

@@ -11,15 +11,35 @@ struct RetrievalStats {
   Histogram latency_us;  // remote fetches only
   std::size_t local_hits = 0;
   std::size_t remote_hits = 0;
-  std::size_t misses = 0;
+  /// Fetches that expired waiting on candidates (at least one request timed
+  /// out before the miss) — the lossy-network failure mode.
+  std::size_t timeouts = 0;
+  /// Fetches that exhausted every candidate with definitive "don't have it"
+  /// answers — the placement/coverage failure mode.
+  std::size_t not_found = 0;
+  /// Extra passes over the candidate list (retry-with-backoff), summed over
+  /// all fetches.
+  std::size_t retry_rounds = 0;
+  /// Candidate requests that expired unanswered, summed over all fetches.
+  std::size_t attempt_timeouts = 0;
+
+  [[nodiscard]] std::size_t misses() const { return timeouts + not_found; }
 };
 
 class RetrievalDriver {
  public:
   /// Runs `count` fetches of uniformly random committed blocks from
-  /// uniformly random online nodes. The simulation must be quiescent.
+  /// uniformly random online nodes.
+  ///
+  /// With `step_us` == 0 (default) each fetch is settled to quiescence —
+  /// only valid when no recurring events (churn/fault schedules) are
+  /// installed, because settle drains the whole queue. With `step_us` > 0
+  /// the clock advances in bounded steps (at most `max_steps` per fetch)
+  /// until the fetch resolves, which works under fault injection; a fetch
+  /// still unresolved past the budget counts as a timeout.
   [[nodiscard]] static RetrievalStats run(IciNetwork& net, std::size_t count,
-                                          std::uint64_t seed);
+                                          std::uint64_t seed, sim::SimTime step_us = 0,
+                                          std::size_t max_steps = 0);
 };
 
 }  // namespace ici::core

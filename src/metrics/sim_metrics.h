@@ -7,6 +7,7 @@
 #pragma once
 
 #include "metrics/registry.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 
 namespace ici::metrics {
@@ -26,6 +27,24 @@ inline void sync_sim_counters(Registry& reg, const sim::Simulator& sim) {
   set("sim.peak_pending", qs.peak_pending);
   set("sim.far_events", qs.far_events);
   set("sim.event_heap_fallbacks", qs.heap_fallback_events);
+}
+
+/// Overwrites the "faults.*" counters in `reg` with the injector's tallies
+/// (same idempotent overwrite semantics as sync_sim_counters). Facades call
+/// this from settle() when a FaultInjector is installed, so BENCH artifacts
+/// report exactly what the plan did to the run.
+inline void sync_fault_counters(Registry& reg, const sim::FaultStats& stats) {
+  const auto set = [&reg](const char* name, std::uint64_t v) {
+    Counter& c = reg.counter(name);
+    c.reset();
+    c.inc(v);
+  };
+  set("faults.msgs_dropped", stats.msgs_dropped);
+  set("faults.msgs_duplicated", stats.msgs_duplicated);
+  set("faults.msgs_delayed", stats.msgs_delayed);
+  set("faults.partition_drops", stats.partition_drops);
+  set("faults.crashes", stats.crashes);
+  set("faults.restarts", stats.restarts);
 }
 
 }  // namespace ici::metrics

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/faults.h"
+
 namespace ici::sim {
 
 double distance(const Coord& a, const Coord& b) {
@@ -56,7 +58,21 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::size_t wire, double
   const double prop =
       cfg_.base_propagation_us + distance(src.coord, nodes_[to].coord) * cfg_.us_per_distance_unit;
   const double jitter = std::max(0.0, rng_.normal(0.0, cfg_.jitter_stddev_us));
-  const SimTime arrival = departure + static_cast<SimTime>(prop + jitter);
+  SimTime arrival = departure + static_cast<SimTime>(prop + jitter);
+
+  if (faults_ != nullptr) {
+    // The injector rules on every delivery after the sender has paid for the
+    // transmission: a dropped message still occupied the uplink. All fault
+    // randomness comes from the injector's own Rng, so the network jitter
+    // stream above is identical with and without a plan installed.
+    const FaultInjector::SendVerdict verdict = faults_->on_send(from, to, *msg);
+    if (verdict.drop) return;  // charged to the sender, lost in flight
+    arrival += static_cast<SimTime>(verdict.extra_delay_us);
+    if (verdict.duplicate_delay_us >= 0.0) {
+      sim_.at(arrival + static_cast<SimTime>(verdict.duplicate_delay_us),
+              [this, from, to, wire, msg] { deliver(from, to, wire, msg); });
+    }
+  }
 
   sim_.at(arrival, [this, from, to, wire, msg = std::move(msg)] { deliver(from, to, wire, msg); });
 }

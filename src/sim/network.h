@@ -22,6 +22,8 @@
 
 namespace ici::sim {
 
+class FaultInjector;
+
 using NodeId = std::uint32_t;
 constexpr NodeId kNoNode = UINT32_MAX;
 
@@ -116,6 +118,14 @@ class Network {
   [[nodiscard]] Simulator& simulator() { return sim_; }
   [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
 
+  /// Installs (or, with nullptr, removes) the fault-injection hook consulted
+  /// on every scheduled non-loopback delivery (sim/faults.h). With no
+  /// injector the send path draws zero fault RNG values and is bit-identical
+  /// to a build without the hook. Owned by the caller; FaultInjector
+  /// installs/uninstalls itself on construction/destruction.
+  void install_faults(FaultInjector* faults) { faults_ = faults; }
+  [[nodiscard]] FaultInjector* faults() const { return faults_; }
+
  private:
   void send_impl(NodeId from, NodeId to, MessagePtr msg);
   /// Computes departure/arrival for one recipient (advancing the sender's
@@ -138,6 +148,7 @@ class Network {
   Simulator& sim_;
   NetworkConfig cfg_;
   ici::Rng rng_;
+  FaultInjector* faults_ = nullptr;
   std::vector<NodeSlot> nodes_;
 };
 

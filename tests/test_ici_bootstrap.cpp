@@ -112,10 +112,9 @@ TEST(Bootstrap, JoinerServesFetchesAfterJoin) {
   }
   ASSERT_NE(peer, cluster::kNoNode);
   bool got = false;
-  rig.net->node(peer).fetch_block(target, target_height,
-                                  [&](std::shared_ptr<const Block> b, sim::SimTime) {
-                                    got = b != nullptr && b->hash() == target;
-                                  });
+  rig.net->node(peer).fetch_block(target, target_height, [&](const FetchResult& r) {
+    got = r.block != nullptr && r.block->hash() == target;
+  });
   rig.net->settle();
   EXPECT_TRUE(got);
 }

@@ -113,10 +113,9 @@ TEST(Byzantine, CorruptServerRoutedAroundWithReplication) {
   }
   ASSERT_NE(requester, cluster::kNoNode);
   bool got = false;
-  net.node(requester).fetch_block(hash, 1,
-                                  [&](std::shared_ptr<const Block> b, sim::SimTime) {
-                                    got = b != nullptr && b->hash() == hash && b->merkle_ok();
-                                  });
+  net.node(requester).fetch_block(hash, 1, [&](const FetchResult& r) {
+    got = r.block != nullptr && r.block->hash() == hash && r.block->merkle_ok();
+  });
   net.settle();
   EXPECT_TRUE(got);
 }
@@ -140,10 +139,9 @@ TEST(Byzantine, CorruptSoleHolderRoutedAroundViaSiblingCluster) {
   }
   ASSERT_NE(requester, cluster::kNoNode);
   bool got = false;
-  rig.net->node(requester).fetch_block(
-      hash, 1, [&](std::shared_ptr<const Block> b, sim::SimTime) {
-        got = b != nullptr && b->hash() == hash && b->merkle_ok();
-      });
+  rig.net->node(requester).fetch_block(hash, 1, [&](const FetchResult& r) {
+    got = r.block != nullptr && r.block->hash() == hash && r.block->merkle_ok();
+  });
   rig.net->settle();
   // Candidates are distance-sorted, so the corrupt holder may or may not be
   // contacted before an honest sibling; either way the fetch must succeed
@@ -182,9 +180,10 @@ TEST(Byzantine, CorruptSoleHolderCausesCleanMissWithoutFallback) {
   ASSERT_NE(requester, cluster::kNoNode);
   bool called = false;
   bool hit = true;
-  net.node(requester).fetch_block(hash, 1, [&](std::shared_ptr<const Block> b, sim::SimTime) {
+  net.node(requester).fetch_block(hash, 1, [&](const FetchResult& r) {
     called = true;
-    hit = b != nullptr;
+    hit = r.block != nullptr;
+    EXPECT_EQ(r.outcome, FetchOutcome::kNotFound);
   });
   net.settle();
   EXPECT_TRUE(called);

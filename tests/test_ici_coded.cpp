@@ -92,14 +92,13 @@ TEST(CodedMode, FetchReconstructsBlock) {
   const Block& target = rig.chain->at_height(2);
 
   bool got = false;
-  rig.net->node(0).fetch_block(target.hash(), 2,
-                               [&](std::shared_ptr<const Block> b, sim::SimTime elapsed) {
-                                 ASSERT_NE(b, nullptr);
-                                 EXPECT_EQ(b->hash(), target.hash());
-                                 EXPECT_TRUE(b->merkle_ok());
-                                 EXPECT_GT(elapsed, 0u);
-                                 got = true;
-                               });
+  rig.net->node(0).fetch_block(target.hash(), 2, [&](const FetchResult& r) {
+    ASSERT_NE(r.block, nullptr);
+    EXPECT_EQ(r.block->hash(), target.hash());
+    EXPECT_TRUE(r.block->merkle_ok());
+    EXPECT_GT(r.elapsed_us, 0u);
+    got = true;
+  });
   rig.net->settle();
   EXPECT_TRUE(got);
 }
@@ -129,7 +128,7 @@ TEST(CodedMode, SurvivesParityManyHoldersOffline) {
   ASSERT_NE(requester, cluster::kNoNode);
   bool got = false;
   rig.net->node(requester).fetch_block(
-      hash, 1, [&](std::shared_ptr<const Block> b, sim::SimTime) { got = b != nullptr; });
+      hash, 1, [&](const FetchResult& r) { got = r.block != nullptr; });
   rig.net->settle();
   EXPECT_TRUE(got);
 }

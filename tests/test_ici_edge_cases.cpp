@@ -139,11 +139,11 @@ TEST(EdgeCases, FetchUnknownBlockMissesCleanly) {
   rig.next();
   ASSERT_GT(rig.net->disseminate_and_settle(rig.chain->tip()), 0u);
   bool called = false;
-  rig.net->node(0).fetch_block(Hash256::tagged("never", {}), 99,
-                               [&](std::shared_ptr<const Block> b, sim::SimTime) {
-                                 called = true;
-                                 EXPECT_EQ(b, nullptr);
-                               });
+  rig.net->node(0).fetch_block(Hash256::tagged("never", {}), 99, [&](const FetchResult& r) {
+    called = true;
+    EXPECT_EQ(r.block, nullptr);
+    EXPECT_EQ(r.outcome, FetchOutcome::kNotFound);
+  });
   rig.net->settle();
   EXPECT_TRUE(called);
   EXPECT_GT(rig.net->metrics().counter_value("retrieval.misses"), 0u);

@@ -71,11 +71,10 @@ TEST(CrossClusterFallback, ServesBlockWhenOwnClusterDark) {
   ASSERT_NE(requester, cluster::kNoNode);
   bool got = false;
   sim::SimTime latency = 0;
-  rig.net->node(requester).fetch_block(hash, 2,
-                                       [&](std::shared_ptr<const Block> b, sim::SimTime t) {
-                                         got = b != nullptr && b->hash() == hash;
-                                         latency = t;
-                                       });
+  rig.net->node(requester).fetch_block(hash, 2, [&](const FetchResult& r) {
+    got = r.block != nullptr && r.block->hash() == hash;
+    latency = r.elapsed_us;
+  });
   rig.net->settle();
   EXPECT_TRUE(got) << "sibling clusters hold the block";
   EXPECT_GT(latency, 0u);
@@ -89,11 +88,10 @@ TEST(CrossClusterFallback, DisabledFallbackMisses) {
   const auto requester = pick_online_non_holder(rig, hash, 0);
   ASSERT_NE(requester, cluster::kNoNode);
   bool called = false, got = true;
-  rig.net->node(requester).fetch_block(hash, 2,
-                                       [&](std::shared_ptr<const Block> b, sim::SimTime) {
-                                         called = true;
-                                         got = b != nullptr;
-                                       });
+  rig.net->node(requester).fetch_block(hash, 2, [&](const FetchResult& r) {
+    called = true;
+    got = r.block != nullptr;
+  });
   rig.net->settle();
   EXPECT_TRUE(called);
   EXPECT_FALSE(got) << "without fallback a dark cluster cannot serve";
@@ -109,10 +107,9 @@ TEST(CrossClusterFallback, CodedModeUsesSiblingShards) {
   const auto requester = pick_online_non_holder(rig, hash, 0);
   ASSERT_NE(requester, cluster::kNoNode);
   bool got = false;
-  rig.net->node(requester).fetch_block(hash, 1,
-                                       [&](std::shared_ptr<const Block> b, sim::SimTime) {
-                                         got = b != nullptr && b->hash() == hash;
-                                       });
+  rig.net->node(requester).fetch_block(hash, 1, [&](const FetchResult& r) {
+    got = r.block != nullptr && r.block->hash() == hash;
+  });
   rig.net->settle();
   EXPECT_TRUE(got);
 }

@@ -189,7 +189,7 @@ TEST(IciNetwork, RetrievalFetchesRemoteBlocks) {
   for (int i = 0; i < 4; ++i) ASSERT_GT(rig.step(), 0u);
 
   const RetrievalStats stats = RetrievalDriver::run(*rig.net, 20, 7);
-  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.misses(), 0u);
   EXPECT_GT(stats.remote_hits + stats.local_hits, 0u);
   if (stats.remote_hits > 0) {
     EXPECT_GT(stats.latency_us.mean(), 0.0);
@@ -213,10 +213,11 @@ TEST(IciNetwork, FetchReturnsCorrectBlock) {
 
   bool got = false;
   rig.net->node(requester).fetch_block(
-      target.hash(), 1, [&](std::shared_ptr<const Block> b, sim::SimTime elapsed) {
-        ASSERT_NE(b, nullptr);
-        EXPECT_EQ(b->hash(), target.hash());
-        EXPECT_GT(elapsed, 0u);
+      target.hash(), 1, [&](const FetchResult& r) {
+        ASSERT_NE(r.block, nullptr);
+        EXPECT_EQ(r.block->hash(), target.hash());
+        EXPECT_EQ(r.outcome, FetchOutcome::kRemote);
+        EXPECT_GT(r.elapsed_us, 0u);
         got = true;
       });
   rig.net->settle();

@@ -4,6 +4,7 @@
 // run — must produce byte-identical results at 1, 2, and 8 lanes.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "crypto/merkle.h"
 #include "erasure/rs.h"
 #include "ici/network.h"
+#include "sim/faults.h"
 #include "storage/storage_meter.h"
 
 namespace ici {
@@ -118,6 +120,22 @@ RunFingerprint run_network() {
   gen.workload().confirm(genesis);
   Chain chain(genesis);
   net.init_with_genesis(genesis);
+
+  // The contract must also hold under fault injection: the
+  // test_threads_determinism_faults CTest variant sets ICI_FAULT_PLAN to a
+  // message-fault plan (drop/dup/delay only — random crash schedules never
+  // quiesce, so a settle-based run cannot carry them). Unset leaves the
+  // legacy path with zero extra RNG draws.
+  if (const char* spec = std::getenv("ICI_FAULT_PLAN");
+      spec != nullptr && *spec != '\0') {
+    sim::FaultPlan plan;
+    std::string error;
+    if (!sim::FaultPlan::parse(spec, &plan, &error)) {
+      ADD_FAILURE() << "bad ICI_FAULT_PLAN: " << error;
+    } else if (plan.enabled()) {
+      net.start_faults(plan);
+    }
+  }
 
   RunFingerprint fp;
   for (int i = 0; i < 5; ++i) {

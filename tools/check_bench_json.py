@@ -120,6 +120,28 @@ def check_file(path):
                 fail(path, f"rows[{i}].values['events_per_sec']: expected "
                            f"positive number (got {eps!r})")
 
+    # exp20 (fault injection) rows are one (churn, drop, strategy) cell each:
+    # the artifact must say how many nodes the sweep ran (config.nodes), and
+    # every row must name its strategy and carry in-range fault rates and
+    # availability fractions, or the availability-under-churn claim in
+    # EXPERIMENTS.md has nothing backing it.
+    if doc["name"] == "exp20_faults":
+        nodes = doc["config"].get("nodes")
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+            fail(path, f"config.nodes: expected integer >= 1 (got {nodes!r})")
+        for i, row in enumerate(doc["rows"]):
+            values = row["values"]
+            strategy = values.get("strategy")
+            if not isinstance(strategy, str) or not strategy:
+                fail(path, f"rows[{i}].values['strategy']: expected non-empty "
+                           f"string (got {strategy!r})")
+            for key in ("churn", "drop", "avail_mean", "avail_min"):
+                v = values.get(key)
+                if (not isinstance(v, (int, float)) or isinstance(v, bool)
+                        or not 0.0 <= v <= 1.0):
+                    fail(path, f"rows[{i}].values['{key}']: expected number "
+                               f"in [0, 1] (got {v!r})")
+
     for name, value in doc["counters"].items():
         if not isinstance(value, int) or isinstance(value, bool):
             fail(path, f"counters['{name}']: expected integer")

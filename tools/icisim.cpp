@@ -2,6 +2,7 @@
 //
 //   $ ./build/tools/icisim --nodes 120 --clusters 6 --blocks 20 --churn
 //   $ ./build/tools/icisim --erasure-data 8 --erasure-parity 2 --minutes 20
+//   $ ./build/tools/icisim --fault-plan seed=7,crash=0.3,drop=0.1
 //   $ ./build/tools/icisim --smoke          # tiny config, same output shape
 //   $ ./build/tools/icisim --help
 //
@@ -22,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "ici/network.h"
 #include "obs/bench_report.h"
+#include "sim/faults.h"
 
 int main(int argc, char** argv) {
   using namespace ici;
@@ -33,14 +35,11 @@ int main(int argc, char** argv) {
   std::uint64_t erasure_parity = 0;
   std::uint64_t blocks = 15;
   std::uint64_t txs = 40;
-  std::uint64_t seed = 42;
   std::uint64_t minutes = 20;
   double churn_fraction = 0.3;
-  std::uint64_t threads = 0;
   bool churn = false;
-  bool smoke = false;
   std::string clustering = "kmeans";
-  std::string cpu_mode = "";
+  BenchOptions opts;
 
   FlagParser flags("icisim", "ICIStrategy network scenario runner");
   flags.add_uint("nodes", &nodes, "number of participants");
@@ -50,16 +49,11 @@ int main(int argc, char** argv) {
   flags.add_uint("erasure-parity", &erasure_parity, "RS parity shards p");
   flags.add_uint("blocks", &blocks, "blocks to disseminate");
   flags.add_uint("txs", &txs, "transactions per block");
-  flags.add_uint("seed", &seed, "deterministic seed");
   flags.add_string("clustering", &clustering, "kmeans | random | grid");
   flags.add_bool("churn", &churn, "run churn after dissemination");
   flags.add_double("churn-fraction", &churn_fraction, "fraction of nodes that churn");
-  flags.add_uint("minutes", &minutes, "simulated minutes of churn");
-  flags.add_bool("smoke", &smoke, "shrink the scenario for CI (overrides sizes)");
-  flags.add_uint("threads", &threads,
-                 "worker-pool lanes for parallel hot paths (0 = hardware; smoke pins 2)");
-  flags.add_string("cpu", &cpu_mode,
-                   "SIMD dispatch tier: scalar | native (default native; or $ICI_CPU)");
+  flags.add_uint("minutes", &minutes, "simulated minutes of churn/faults");
+  add_bench_flags(flags, &opts);  // --smoke/--threads/--cpu/--seed/--fault-plan
 
   std::string error;
   if (!flags.parse(argc, argv, &error)) {
@@ -67,12 +61,17 @@ int main(int argc, char** argv) {
     std::cout << flags.usage();
     return error.empty() ? 0 : 2;
   }
+  apply_bench_options(opts, "icisim");
 
-  if (!cpu_mode.empty() && !cpu::set_backend_name(cpu_mode)) {
-    std::cerr << "error: invalid --cpu value '" << cpu_mode << "' (expected scalar|native)\n";
+  sim::FaultPlan fault_plan;
+  if (!sim::FaultPlan::parse(opts.fault_plan, &fault_plan, &error)) {
+    std::cerr << "error: " << error << "\n";
     return 2;
   }
+  const bool faults = fault_plan.enabled();
 
+  const std::uint64_t seed = opts.seed;
+  const bool smoke = opts.smoke;
   if (smoke) {
     nodes = 24;
     clusters = 2;
@@ -80,10 +79,6 @@ int main(int argc, char** argv) {
     txs = 20;
     minutes = 2;
   }
-  // Pool size never changes simulated results (see docs/THREADING.md), only
-  // wall clock; smoke pins 2 lanes so CI exercises the multi-thread path.
-  if (threads == 0 && smoke) threads = 2;
-  ThreadPool::set_global_threads(threads);
 
   ChainGenConfig chain_cfg;
   chain_cfg.txs_per_block = txs;
@@ -120,10 +115,9 @@ int main(int argc, char** argv) {
   report.set_config("threads", ThreadPool::global().thread_count());
   report.set_config("cpu_backend", std::string(cpu::backend_name()));
   report.set_config("churn", churn);
-  if (churn) {
-    report.set_config("churn_fraction", churn_fraction);
-    report.set_config("sim_minutes", minutes);
-  }
+  if (churn) report.set_config("churn_fraction", churn_fraction);
+  if (faults) report.set_config("fault_plan", fault_plan.describe());
+  if (churn || faults) report.set_config("sim_minutes", minutes);
 
   Block genesis = generator.workload().make_genesis();
   generator.workload().confirm(genesis);
@@ -137,14 +131,20 @@ int main(int argc, char** argv) {
     if (t > 0) commit_latency.add(static_cast<double>(t));
   }
 
+  // Faults (like churn) start after dissemination: their recurring
+  // crash/restart schedules keep the event queue populated forever, so the
+  // run advances in bounded windows from here on (never settle()).
   RunningStat availability;
   if (churn) {
     sim::ChurnConfig ccfg;
     ccfg.churn_fraction = churn_fraction;
     ccfg.seed = seed;
     network->start_churn(ccfg);
+  }
+  if (faults) network->start_faults(fault_plan);
+  if (churn || faults) {
     for (std::uint64_t minute = 0; minute < minutes; ++minute) {
-      network->simulator().run_until(network->simulator().now() + 60'000'000);
+      network->run_for(60'000'000);
       availability.add(network->availability());
     }
   }
@@ -176,7 +176,7 @@ int main(int argc, char** argv) {
   results.row({"vs full replication", format_double(vs_full, 1) + "%"});
   results.row({"traffic total", format_bytes(static_cast<double>(traffic.bytes_sent))});
   results.row({"messages", std::to_string(traffic.msgs_sent)});
-  if (churn) {
+  if (churn || faults) {
     results.row({"availability (mean)", format_double(availability.mean(), 4)});
     results.row({"availability (min)", format_double(availability.min(), 4)});
   }
@@ -197,7 +197,7 @@ int main(int argc, char** argv) {
   row.set("vs_fullrep_pct", vs_full);
   row.set("traffic_bytes", traffic.bytes_sent);
   row.set("traffic_msgs", traffic.msgs_sent);
-  if (churn) {
+  if (churn || faults) {
     row.set("availability_mean", availability.mean());
     row.set("availability_min", availability.min());
   }
