@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "ici/network.h"
+#include "metrics/memstats.h"
 #include "obs/bench_report.h"
 #include "storage/storage_meter.h"
 
@@ -48,11 +49,29 @@ inline void record_thread_config(obs::BenchReport& report) {
   report.set_config("cpu_backend", std::string(cpu::backend_name()));
 }
 
+/// Stamps process memory counters: sim.rss_bytes / sim.peak_rss_bytes always
+/// (when procfs is readable), and sim.bytes_per_node — peak RSS divided by
+/// the bench's headline simulated-node count — when `sim_nodes` > 0. These
+/// are environment measurements, deliberately NOT part of the deterministic
+/// sim.* counter set the bit-identity tests pin down.
+inline void record_memory_metrics(obs::BenchReport& report, std::size_t sim_nodes) {
+  const metrics::MemoryStats mem = metrics::read_memory_stats();
+  if (mem.rss_bytes == 0 && mem.peak_rss_bytes == 0) return;
+  report.add_counter("sim.rss_bytes", mem.rss_bytes);
+  report.add_counter("sim.peak_rss_bytes", mem.peak_rss_bytes);
+  if (sim_nodes > 0) {
+    report.add_counter("sim.bytes_per_node", mem.peak_rss_bytes / sim_nodes);
+  }
+}
+
 /// Captures the global span aggregates and writes the artifact; every bench
 /// main() ends with this. A bad $ICI_BENCH_DIR must not look like a crash
 /// after the tables already printed, so write failures exit 1 cleanly.
-inline void finish_report(obs::BenchReport& report) {
+/// Sim-driven benches pass their headline node count so the artifact carries
+/// the per-node memory footprint (sim.bytes_per_node).
+inline void finish_report(obs::BenchReport& report, std::size_t sim_nodes = 0) {
   record_thread_config(report);
+  record_memory_metrics(report, sim_nodes);
   report.capture_spans();
   try {
     const std::string path = report.write();

@@ -80,6 +80,6 @@ int main(int argc, char** argv) {
                "Note: ICI nodes keep ALL headers (every row includes them), so the printed "
                "ratio sits a few points above 25%; on body bytes alone it is exactly "
                "k_rc/m = 25% (see E08).\n";
-  finish_report(report);
+  finish_report(report, kNodes);
   return 0;
 }

@@ -70,6 +70,6 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: full-rep downloads the whole ledger; rapidchain one shard "
                "(D/k); ici only headers + ~1/m of bodies — the cheapest join, and the gap "
                "grows with chain length.\n";
-  finish_report(report);
+  finish_report(report, kNodes);
   return 0;
 }

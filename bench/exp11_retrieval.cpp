@@ -61,6 +61,6 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: local-hit probability ~r/m falls with m, but the remote "
                "fetch stays ~one intra-cluster RTT + body transfer. Full replication always "
                "hits locally (0 ms) at m-times the storage.\n";
-  finish_report(report);
+  finish_report(report, kNodes);
   return 0;
 }

@@ -194,6 +194,6 @@ int main(int argc, char** argv) {
                "full replication at ~1/8 the storage; RapidChain degrades when committees "
                "thin out, and message drops stretch ICI retrieval tails (retry rounds) "
                "without sinking availability.\n";
-  finish_report(report);
+  finish_report(report, kNodes);
   return 0;
 }

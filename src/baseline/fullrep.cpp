@@ -11,7 +11,10 @@
 
 namespace ici::baseline {
 
-FullRepNode::FullRepNode(FullRepNetwork& ctx, sim::NodeId id) : ctx_(ctx), id_(id) {}
+FullRepNode::FullRepNode(FullRepNetwork& ctx, sim::NodeId id)
+    : ctx_(ctx), id_(id), store_(ctx.header_index()) {
+  store_.bind_tally(&ctx.fleet_tally(), id);
+}
 
 void FullRepNode::seed_genesis(std::shared_ptr<const Block> genesis) {
   const Hash256 h = genesis->hash();
@@ -119,13 +122,13 @@ FullRepNetwork::FullRepNetwork(FullRepConfig cfg) : cfg_(cfg) {
 
   const auto infos =
       cluster::generate_topology(cfg_.node_count, cfg_.regions, cfg_.seed, 100.0, false);
-  nodes_.reserve(infos.size());
+  net_->reserve_nodes(infos.size());
+  fleet_tally_.ensure_size(infos.size());
   coords_.reserve(infos.size());
   for (const auto& info : infos) {
-    auto node = std::make_unique<FullRepNode>(*this, info.id);
-    const sim::NodeId assigned = net_->add_node(node.get(), info.coord);
+    FullRepNode& node = nodes_.emplace_back(*this, info.id);
+    const sim::NodeId assigned = net_->add_node(&node, info.coord);
     if (assigned != info.id) throw std::logic_error("fullrep id mismatch");
-    nodes_.push_back(std::move(node));
     coords_.push_back(info.coord);
   }
 
@@ -159,7 +162,7 @@ void FullRepNetwork::init_with_genesis(const Block& genesis) {
   if (genesis_done_) throw std::logic_error("init_with_genesis called twice");
   genesis_done_ = true;
   auto shared = std::make_shared<const Block>(genesis);
-  for (auto& node : nodes_) node->seed_genesis(shared);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) nodes_[i].seed_genesis(shared);
 }
 
 sim::SimTime FullRepNetwork::disseminate_and_settle(const Block& block) {
@@ -168,7 +171,7 @@ sim::SimTime FullRepNetwork::disseminate_and_settle(const Block& block) {
   spreads_[hash] = Spread{sim_.now(), 0, 0};
 
   const auto proposer = static_cast<sim::NodeId>(proposer_cursor_++ % nodes_.size());
-  nodes_[proposer]->inject_block(std::make_shared<const Block>(block));
+  nodes_[proposer].inject_block(std::make_shared<const Block>(block));
   sim_.run();
   metrics::sync_sim_counters(metrics_, sim_);
   if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
@@ -197,7 +200,7 @@ void FullRepNetwork::preload_chain(const Chain& chain) {
   for (std::size_t h = 1; h < chain.blocks().size(); ++h) {
     auto shared = std::make_shared<const Block>(chain.blocks()[h]);
     const Hash256 hash = shared->hash();
-    for (auto& node : nodes_) node->store().put_block(shared, hash);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) nodes_[i].store().put_block(shared, hash);
   }
 }
 
@@ -213,16 +216,17 @@ FullRepNetwork::BootstrapReport FullRepNetwork::bootstrap(sim::Coord coord) {
     }
   }
 
-  auto node = std::make_unique<FullRepNode>(*this, static_cast<sim::NodeId>(nodes_.size()));
-  const sim::NodeId id = net_->add_node(node.get(), coord);
+  const auto joiner_id = static_cast<sim::NodeId>(nodes_.size());
+  fleet_tally_.ensure_size(static_cast<std::size_t>(joiner_id) + 1);
+  FullRepNode& node = nodes_.emplace_back(*this, joiner_id);
+  const sim::NodeId id = net_->add_node(&node, coord);
   coords_.push_back(coord);
   peers_.push_back({best});
   peers_[best].push_back(id);
-  nodes_.push_back(std::move(node));
 
   BootstrapReport report;
   const sim::SimTime started = sim_.now();
-  nodes_[id]->start_sync(best, [&report](std::size_t bodies) {
+  nodes_[id].start_sync(best, [&report](std::size_t bodies) {
     report.complete = true;
     report.bodies_fetched = bodies;
   });
@@ -253,7 +257,7 @@ void FullRepNetwork::run_for(sim::SimTime us) {
 std::vector<const BlockStore*> FullRepNetwork::stores() const {
   std::vector<const BlockStore*> out;
   out.reserve(nodes_.size());
-  for (const auto& node : nodes_) out.push_back(&node->store());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) out.push_back(&nodes_[i].store());
   return out;
 }
 

@@ -12,12 +12,15 @@
 
 #include "chain/chain.h"
 #include "chain/validator.h"
+#include "common/arena.h"
 #include "common/stats.h"
 #include "metrics/registry.h"
 #include "sim/churn.h"
 #include "sim/faults.h"
 #include "sim/network.h"
 #include "storage/block_store.h"
+#include "storage/fleet_tally.h"
+#include "storage/header_index.h"
 
 namespace ici::baseline {
 
@@ -148,9 +151,15 @@ class FullRepNetwork {
   [[nodiscard]] metrics::Registry& metrics() { return metrics_; }
   [[nodiscard]] const FullRepConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  [[nodiscard]] FullRepNode& node(sim::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] FullRepNode& node(sim::NodeId id) { return nodes_.at(id); }
   [[nodiscard]] const std::vector<sim::NodeId>& peers(sim::NodeId id) const;
   [[nodiscard]] std::vector<const BlockStore*> stores() const;
+
+  /// Fleet-shared header table / contiguous per-node tallies (fleet_tally.h).
+  [[nodiscard]] const std::shared_ptr<HeaderIndex>& header_index() const {
+    return header_index_;
+  }
+  [[nodiscard]] FleetTally& fleet_tally() { return fleet_tally_; }
 
   /// Called by nodes when they store a disseminated block.
   void note_stored(sim::NodeId id, const Hash256& hash);
@@ -159,7 +168,10 @@ class FullRepNetwork {
   FullRepConfig cfg_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
-  std::vector<std::unique_ptr<FullRepNode>> nodes_;
+  // Shared header snapshot + SoA tallies outlive the nodes bound to them.
+  std::shared_ptr<HeaderIndex> header_index_ = std::make_shared<HeaderIndex>();
+  FleetTally fleet_tally_;
+  ObjectArena<FullRepNode> nodes_;
   std::unique_ptr<sim::FaultInjector> faults_;  // after net_: hook uninstall order
   std::vector<std::vector<sim::NodeId>> peers_;
   std::vector<sim::Coord> coords_;

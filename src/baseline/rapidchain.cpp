@@ -12,7 +12,9 @@
 namespace ici::baseline {
 
 RapidChainNode::RapidChainNode(RapidChainNetwork& ctx, sim::NodeId id, std::size_t committee)
-    : ctx_(ctx), id_(id), committee_(committee) {}
+    : ctx_(ctx), id_(id), committee_(committee), store_(ctx.header_index()) {
+  store_.bind_tally(&ctx.fleet_tally(), id);
+}
 
 void RapidChainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
   if (const auto* chunk = dynamic_cast<const ChunkMsg*>(msg.get())) {
@@ -117,7 +119,9 @@ RapidChainNetwork::RapidChainNetwork(RapidChainConfig cfg) : cfg_(cfg) {
   const auto infos =
       cluster::generate_topology(cfg_.node_count, cfg_.regions, cfg_.seed, 100.0, false);
   committees_.assign(cfg_.committee_count, {});
-  nodes_.reserve(infos.size());
+  net_->reserve_nodes(infos.size());
+  fleet_tally_.ensure_size(infos.size());
+  coords_.reserve(infos.size());
   for (const auto& info : infos) {
     // Committee by hash of node id — RapidChain assigns members uniformly
     // at random via its randomness beacon.
@@ -126,11 +130,10 @@ RapidChainNetwork::RapidChainNetwork(RapidChainConfig cfg) : cfg_(cfg) {
     const std::size_t c = static_cast<std::size_t>(
         Hash256::tagged("rc/committee", ByteSpan(w.bytes().data(), w.bytes().size())).low64() %
         cfg_.committee_count);
-    auto node = std::make_unique<RapidChainNode>(*this, info.id, c);
-    const sim::NodeId assigned = net_->add_node(node.get(), info.coord);
+    RapidChainNode& node = nodes_.emplace_back(*this, info.id, c);
+    const sim::NodeId assigned = net_->add_node(&node, info.coord);
     if (assigned != info.id) throw std::logic_error("rapidchain id mismatch");
     committees_[c].push_back(info.id);
-    nodes_.push_back(std::move(node));
     coords_.push_back(info.coord);
   }
   // Hash assignment can leave a committee empty at tiny scales; steal from
@@ -162,7 +165,7 @@ void RapidChainNetwork::init_with_genesis(const Block& genesis) {
   auto shared = std::make_shared<const Block>(genesis);
   const Hash256 hash = shared->hash();
   const std::size_t c = committee_of_block(hash);
-  for (sim::NodeId id : committees_[c]) nodes_[id]->store().put_block(shared, hash);
+  for (sim::NodeId id : committees_[c]) nodes_[id].store().put_block(shared, hash);
 }
 
 sim::SimTime RapidChainNetwork::disseminate_and_settle(const Block& block) {
@@ -176,7 +179,7 @@ sim::SimTime RapidChainNetwork::disseminate_and_settle(const Block& block) {
   spreads_[hash] = Spread{sim_.now(), 0, members.size(), 0};
 
   const sim::NodeId leader = members[leader_cursor_++ % members.size()];
-  nodes_[leader]->lead_dissemination(shared);
+  nodes_[leader].lead_dissemination(shared);
   sim_.run();
   metrics::sync_sim_counters(metrics_, sim_);
   if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
@@ -208,7 +211,7 @@ void RapidChainNetwork::preload_chain(const Chain& chain) {
     auto shared = std::make_shared<const Block>(chain.blocks()[h]);
     const Hash256 hash = shared->hash();
     const std::size_t c = committee_of_block(hash);
-    for (sim::NodeId id : committees_[c]) nodes_[id]->store().put_block(shared, hash);
+    for (sim::NodeId id : committees_[c]) nodes_[id].store().put_block(shared, hash);
   }
 }
 
@@ -220,9 +223,9 @@ RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord
       Hash256::tagged("rc/committee", ByteSpan(w.bytes().data(), w.bytes().size())).low64() %
       cfg_.committee_count);
 
-  auto node = std::make_unique<RapidChainNode>(*this, new_id, c);
-  const sim::NodeId id = net_->add_node(node.get(), coord);
-  nodes_.push_back(std::move(node));
+  fleet_tally_.ensure_size(static_cast<std::size_t>(new_id) + 1);
+  RapidChainNode& node = nodes_.emplace_back(*this, new_id, c);
+  const sim::NodeId id = net_->add_node(&node, coord);
   coords_.push_back(coord);
   committees_[c].push_back(id);
 
@@ -241,7 +244,7 @@ RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord
   BootstrapReport report;
   report.committee = c;
   const sim::SimTime started = sim_.now();
-  nodes_[id]->start_shard_sync(best, [&report](std::size_t bodies) {
+  nodes_[id].start_shard_sync(best, [&report](std::size_t bodies) {
     report.complete = true;
     report.bodies_fetched = bodies;
   });
@@ -274,7 +277,7 @@ void RapidChainNetwork::run_for(sim::SimTime us) {
 std::vector<const BlockStore*> RapidChainNetwork::stores() const {
   std::vector<const BlockStore*> out;
   out.reserve(nodes_.size());
-  for (const auto& node : nodes_) out.push_back(&node->store());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) out.push_back(&nodes_[i].store());
   return out;
 }
 

@@ -23,10 +23,13 @@
 #include <unordered_set>
 
 #include "chain/chain.h"
+#include "common/arena.h"
 #include "metrics/registry.h"
 #include "sim/faults.h"
 #include "sim/network.h"
 #include "storage/block_store.h"
+#include "storage/fleet_tally.h"
+#include "storage/header_index.h"
 
 namespace ici::baseline {
 
@@ -153,8 +156,14 @@ class RapidChainNetwork {
   [[nodiscard]] sim::Network& network() { return *net_; }
   [[nodiscard]] metrics::Registry& metrics() { return metrics_; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  [[nodiscard]] RapidChainNode& node(sim::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] RapidChainNode& node(sim::NodeId id) { return nodes_.at(id); }
   [[nodiscard]] std::vector<const BlockStore*> stores() const;
+
+  /// Fleet-shared header table / contiguous per-node tallies (fleet_tally.h).
+  [[nodiscard]] const std::shared_ptr<HeaderIndex>& header_index() const {
+    return header_index_;
+  }
+  [[nodiscard]] FleetTally& fleet_tally() { return fleet_tally_; }
 
   /// Shared registry of in-flight blocks so members can materialize the
   /// body once their chunk set completes (chunk payloads are simulated).
@@ -166,7 +175,10 @@ class RapidChainNetwork {
   RapidChainConfig cfg_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
-  std::vector<std::unique_ptr<RapidChainNode>> nodes_;
+  // Shared header snapshot + SoA tallies outlive the nodes bound to them.
+  std::shared_ptr<HeaderIndex> header_index_ = std::make_shared<HeaderIndex>();
+  FleetTally fleet_tally_;
+  ObjectArena<RapidChainNode> nodes_;
   std::unique_ptr<sim::FaultInjector> faults_;  // after net_: hook uninstall order
   std::vector<std::vector<sim::NodeId>> committees_;
   std::vector<sim::Coord> coords_;

@@ -5,27 +5,43 @@
 
 namespace ici::cluster {
 
+namespace {
+
+/// Grows an id-indexed vector on demand so sparse ids stay addressable.
+template <typename T>
+void ensure_id(std::vector<T>& v, NodeId id, T fill) {
+  if (id >= v.size()) v.resize(static_cast<std::size_t>(id) + 1, fill);
+}
+
+}  // namespace
+
 ClusterDirectory::ClusterDirectory(std::vector<NodeInfo> nodes, Clustering clustering)
     : nodes_(std::move(nodes)), clusters_(std::move(clustering.clusters)) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    id_index_[nodes_[i].id] = i;
-    online_[nodes_[i].id] = true;
+    const NodeId id = nodes_[i].id;
+    ensure_id(index_by_id_, id, kAbsent);
+    ensure_id(cluster_by_id_, id, kAbsent);
+    ensure_id<std::uint8_t>(online_by_id_, id, 0);
+    index_by_id_[id] = static_cast<std::uint32_t>(i);
+    online_by_id_[id] = 1;
   }
+  std::size_t covered = 0;
   for (std::size_t c = 0; c < clusters_.size(); ++c) {
     for (NodeId id : clusters_[c]) {
-      if (!id_index_.contains(id))
+      if (slot_of(id) == kAbsent)
         throw std::invalid_argument("ClusterDirectory: clustering references unknown node");
-      node_cluster_[id] = c;
+      if (cluster_by_id_[id] == kAbsent) ++covered;
+      cluster_by_id_[id] = static_cast<std::uint32_t>(c);
     }
   }
-  if (node_cluster_.size() != nodes_.size())
+  if (covered != nodes_.size())
     throw std::invalid_argument("ClusterDirectory: clustering does not cover all nodes");
 }
 
 std::size_t ClusterDirectory::cluster_of(NodeId id) const {
-  const auto it = node_cluster_.find(id);
-  if (it == node_cluster_.end()) throw std::out_of_range("cluster_of: unknown node");
-  return it->second;
+  if (id >= cluster_by_id_.size() || cluster_by_id_[id] == kAbsent)
+    throw std::out_of_range("cluster_of: unknown node");
+  return cluster_by_id_[id];
 }
 
 const std::vector<NodeId>& ClusterDirectory::members(std::size_t cluster) const {
@@ -41,22 +57,28 @@ std::vector<NodeInfo> ClusterDirectory::online_members(std::size_t cluster) cons
   return out;
 }
 
+std::vector<NodeInfo> ClusterDirectory::member_infos(std::size_t cluster) const {
+  const auto& ids = members(cluster);
+  std::vector<NodeInfo> out;
+  out.reserve(ids.size());
+  for (NodeId id : ids) out.push_back(info(id));
+  return out;
+}
+
 const NodeInfo& ClusterDirectory::info(NodeId id) const {
-  const auto it = id_index_.find(id);
-  if (it == id_index_.end()) throw std::out_of_range("info: unknown node");
-  return nodes_[it->second];
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kAbsent) throw std::out_of_range("info: unknown node");
+  return nodes_[slot];
 }
 
 void ClusterDirectory::set_online(NodeId id, bool on) {
-  const auto it = online_.find(id);
-  if (it == online_.end()) throw std::out_of_range("set_online: unknown node");
-  it->second = on;
+  if (slot_of(id) == kAbsent) throw std::out_of_range("set_online: unknown node");
+  online_by_id_[id] = on ? 1 : 0;
 }
 
 bool ClusterDirectory::online(NodeId id) const {
-  const auto it = online_.find(id);
-  if (it == online_.end()) throw std::out_of_range("online: unknown node");
-  return it->second;
+  if (slot_of(id) == kAbsent) throw std::out_of_range("online: unknown node");
+  return online_by_id_[id] != 0;
 }
 
 std::optional<NodeId> ClusterDirectory::head(std::size_t cluster, std::uint64_t height) const {
@@ -73,24 +95,29 @@ std::optional<NodeId> ClusterDirectory::head(std::size_t cluster, std::uint64_t 
 
 void ClusterDirectory::add_member(NodeInfo info, std::size_t cluster) {
   if (cluster >= clusters_.size()) throw std::out_of_range("add_member: bad cluster");
-  if (id_index_.contains(info.id)) throw std::invalid_argument("add_member: duplicate id");
-  id_index_[info.id] = nodes_.size();
-  node_cluster_[info.id] = cluster;
-  online_[info.id] = true;
-  clusters_[cluster].push_back(info.id);
+  if (slot_of(info.id) != kAbsent) throw std::invalid_argument("add_member: duplicate id");
+  const NodeId id = info.id;
+  ensure_id(index_by_id_, id, kAbsent);
+  ensure_id(cluster_by_id_, id, kAbsent);
+  ensure_id<std::uint8_t>(online_by_id_, id, 0);
+  index_by_id_[id] = static_cast<std::uint32_t>(nodes_.size());
+  cluster_by_id_[id] = static_cast<std::uint32_t>(cluster);
+  online_by_id_[id] = 1;
+  clusters_[cluster].push_back(id);
   std::sort(clusters_[cluster].begin(), clusters_[cluster].end());
   nodes_.push_back(info);
 }
 
 void ClusterDirectory::remove_member(NodeId id) {
-  const auto it = node_cluster_.find(id);
-  if (it == node_cluster_.end()) throw std::out_of_range("remove_member: unknown node");
-  auto& members = clusters_[it->second];
+  if (id >= cluster_by_id_.size() || cluster_by_id_[id] == kAbsent)
+    throw std::out_of_range("remove_member: unknown node");
+  auto& members = clusters_[cluster_by_id_[id]];
   members.erase(std::remove(members.begin(), members.end(), id), members.end());
-  node_cluster_.erase(it);
-  online_.erase(id);
-  // nodes_/id_index_ keep the record for info() history; mark by leaving it.
-  id_index_.erase(id);
+  cluster_by_id_[id] = kAbsent;
+  online_by_id_[id] = 0;
+  // nodes_ keeps the record for history; the id slots are tombstoned so
+  // every per-id lookup throws, matching the map-erase semantics.
+  index_by_id_[id] = kAbsent;
 }
 
 }  // namespace ici::cluster

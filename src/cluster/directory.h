@@ -4,10 +4,16 @@
 //
 // Tracks liveness so assignment/repair can work over *online* members, and
 // rotates the cluster-head role by block height to spread coordinator load.
+//
+// Node ids are dense (the facades assign 0..N-1), so the per-node lookups
+// (record index, cluster, liveness) are flat vectors indexed by id instead
+// of hash maps — at 100k+ nodes this is the difference between three map
+// entries per node and a handful of bytes per node. Unknown and removed ids
+// still throw, exactly as the map-based version did.
 #pragma once
 
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/clusterer.h"
@@ -27,6 +33,8 @@ class ClusterDirectory {
   [[nodiscard]] const std::vector<NodeId>& members(std::size_t cluster) const;
   /// Members currently marked online.
   [[nodiscard]] std::vector<NodeInfo> online_members(std::size_t cluster) const;
+  /// Full NodeInfo of every member (online or not) — the assignment input.
+  [[nodiscard]] std::vector<NodeInfo> member_infos(std::size_t cluster) const;
   [[nodiscard]] const NodeInfo& info(NodeId id) const;
 
   void set_online(NodeId id, bool online);
@@ -42,10 +50,18 @@ class ClusterDirectory {
   void remove_member(NodeId id);
 
  private:
-  std::vector<NodeInfo> nodes_;  // indexed lookup via id_index_
-  std::unordered_map<NodeId, std::size_t> id_index_;
-  std::unordered_map<NodeId, std::size_t> node_cluster_;
-  std::unordered_map<NodeId, bool> online_;
+  static constexpr std::uint32_t kAbsent = UINT32_MAX;
+
+  /// Index into the per-id vectors, or kAbsent if the id was never seen or
+  /// has been removed. Throws nothing; callers decide.
+  [[nodiscard]] std::uint32_t slot_of(NodeId id) const {
+    return id < index_by_id_.size() ? index_by_id_[id] : kAbsent;
+  }
+
+  std::vector<NodeInfo> nodes_;             // append-only record (kept past removal)
+  std::vector<std::uint32_t> index_by_id_;  // id -> nodes_ index, kAbsent when removed
+  std::vector<std::uint32_t> cluster_by_id_;  // id -> cluster, kAbsent when removed
+  std::vector<std::uint8_t> online_by_id_;    // id -> liveness (valid while present)
   std::vector<std::vector<NodeId>> clusters_;
 };
 

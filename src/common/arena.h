@@ -1,0 +1,89 @@
+// ObjectArena<T>: chunked, append-only object storage with stable addresses.
+//
+// The network facades own one heap object per simulated node; at 100k-1M
+// nodes the per-object allocation (vector<unique_ptr<Node>>) costs one
+// malloc + one pointer indirection per node and scatters nodes across the
+// heap. The arena allocates nodes in fixed-size chunks instead: one
+// allocation per `chunk_capacity` objects, index-addressable, and — unlike
+// std::vector<T> — growth never moves an object, so raw pointers handed to
+// the simulator (sim::Network keeps INode*) stay valid for the arena's
+// lifetime.
+//
+// clear() destroys every object (reverse construction order) but KEEPS the
+// chunk allocations for reuse — resetting a fleet between experiment tiers
+// costs destructor calls, not a heap churn cycle.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ici {
+
+template <typename T>
+class ObjectArena {
+ public:
+  explicit ObjectArena(std::size_t chunk_capacity = 1024) : chunk_cap_(chunk_capacity) {
+    if (chunk_cap_ == 0) throw std::invalid_argument("ObjectArena: chunk_capacity must be > 0");
+  }
+
+  ~ObjectArena() {
+    clear();
+    for (T* chunk : chunks_) alloc_.deallocate(chunk, chunk_cap_);
+  }
+
+  ObjectArena(const ObjectArena&) = delete;
+  ObjectArena& operator=(const ObjectArena&) = delete;
+
+  /// Constructs a new object at the next slot; the returned reference (and
+  /// its address) stays valid until clear()/destruction.
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    const std::size_t chunk = size_ / chunk_cap_;
+    if (chunk == chunks_.size()) chunks_.push_back(alloc_.allocate(chunk_cap_));
+    T* slot = chunks_[chunk] + (size_ % chunk_cap_);
+    std::construct_at(slot, std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    return chunks_[i / chunk_cap_][i % chunk_cap_];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return chunks_[i / chunk_cap_][i % chunk_cap_];
+  }
+
+  [[nodiscard]] T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("ObjectArena::at");
+    return (*this)[i];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("ObjectArena::at");
+    return (*this)[i];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Slots currently backed by allocated chunks.
+  [[nodiscard]] std::size_t capacity() const { return chunks_.size() * chunk_cap_; }
+
+  /// Destroys all objects (reverse order) but keeps the chunks allocated, so
+  /// refilling the arena reuses the same memory.
+  void clear() {
+    while (size_ > 0) {
+      --size_;
+      std::destroy_at(&(*this)[size_]);
+    }
+  }
+
+ private:
+  std::vector<T*> chunks_;
+  std::size_t chunk_cap_;
+  std::size_t size_ = 0;
+  std::allocator<T> alloc_;
+};
+
+}  // namespace ici

@@ -45,12 +45,12 @@ IciNetwork::IciNetwork(IciNetworkConfig cfg) : cfg_(std::move(cfg)) {
                                                     cfg_.ici.erasure_parity);
   }
 
-  nodes_.reserve(infos_.size());
+  net_->reserve_nodes(infos_.size());
+  fleet_tally_.ensure_size(infos_.size());
   for (const cluster::NodeInfo& info : infos_) {
-    auto node = std::make_unique<IciNode>(*this, info.id);
-    const sim::NodeId assigned = net_->add_node(node.get(), info.coord);
+    IciNode& node = nodes_.emplace_back(*this, info.id);
+    const sim::NodeId assigned = net_->add_node(&node, info.coord);
     if (assigned != info.id) throw std::logic_error("node id mismatch during registration");
-    nodes_.push_back(std::move(node));
   }
 
   // The newest network drives the trace sink's sim clock; the token keeps a
@@ -66,10 +66,8 @@ std::vector<NodeId> IciNetwork::storers_of(const Hash256& hash, std::uint64_t he
   // Stable assignment over the full membership; offline assignees are
   // filtered (not replaced) unless nobody is left, in which case assignment
   // falls back to the online members (emergency placement).
-  std::vector<cluster::NodeInfo> members;
-  for (NodeId id : directory_->members(cluster)) members.push_back(directory_->info(id));
-  std::vector<NodeId> stable =
-      assigner_->storers(hash, height, members, cfg_.ici.replication);
+  std::vector<NodeId> stable = assigner_->storers(
+      hash, height, directory_->member_infos(cluster), cfg_.ici.replication);
   if (!online_only) return stable;
 
   std::vector<NodeId> online;
@@ -85,10 +83,8 @@ std::vector<NodeId> IciNetwork::storers_of(const Hash256& hash, std::uint64_t he
 
 std::vector<NodeId> IciNetwork::fetch_candidates(const Hash256& hash, std::uint64_t height,
                                                  std::size_t cluster, NodeId exclude) const {
-  std::vector<cluster::NodeInfo> members;
-  for (NodeId id : directory_->members(cluster)) members.push_back(directory_->info(id));
-  const std::vector<NodeId> ranked =
-      assigner_->storers(hash, height, members, cfg_.ici.replication + 2);
+  const std::vector<NodeId> ranked = assigner_->storers(
+      hash, height, directory_->member_infos(cluster), cfg_.ici.replication + 2);
   std::vector<NodeId> out;
   for (NodeId id : ranked) {
     if (id != exclude && directory_->online(id)) out.push_back(id);
@@ -108,14 +104,21 @@ std::vector<NodeId> IciNetwork::fetch_candidates(const Hash256& hash, std::uint6
   return out;
 }
 
-NodeId IciNetwork::utxo_owner(const OutPoint& op, std::size_t cluster) const {
+namespace {
+
+Hash256 utxo_owner_key(const OutPoint& op) {
   ByteWriter w(36);
   w.raw(op.txid.span());
   w.u32(op.index);
-  const Hash256 key = Hash256::tagged("ici/utxo", ByteSpan(w.bytes().data(), w.bytes().size()));
-  std::vector<cluster::NodeInfo> members;
-  for (NodeId id : directory_->members(cluster)) members.push_back(directory_->info(id));
-  return shard_owner_assigner_->storers(key, 0, members, 1).front();
+  return Hash256::tagged("ici/utxo", ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+}  // namespace
+
+NodeId IciNetwork::utxo_owner(const OutPoint& op, std::size_t cluster) const {
+  return shard_owner_assigner_
+      ->storers(utxo_owner_key(op), 0, directory_->member_infos(cluster), 1)
+      .front();
 }
 
 void IciNetwork::init_with_genesis(const Block& genesis) {
@@ -130,6 +133,17 @@ void IciNetwork::init_with_genesis(const Block& genesis) {
   }
 
   for (std::size_t c = 0; c < directory_->cluster_count(); ++c) {
+    // One rendezvous pass per (cluster, outpoint) instead of one per
+    // (node, outpoint): every member then seeds via map lookups.
+    const std::vector<cluster::NodeInfo> members = directory_->member_infos(c);
+    IciNode::GenesisOwnerMap owners;
+    for (const Transaction& tx : genesis.txs()) {
+      for (std::uint32_t i = 0; i < tx.outputs().size(); ++i) {
+        const OutPoint op{tx.txid(), i};
+        owners.emplace(
+            op, shard_owner_assigner_->storers(utxo_owner_key(op), 0, members, 1).front());
+      }
+    }
     if (coded()) {
       const std::vector<NodeId> holders = shard_holders(hash, 0, c);
       std::unordered_map<NodeId, const erasure::Shard*> shard_of;
@@ -138,14 +152,14 @@ void IciNetwork::init_with_genesis(const Block& genesis) {
       }
       for (NodeId id : directory_->members(c)) {
         const auto it = shard_of.find(id);
-        nodes_[id]->seed_genesis(genesis, /*is_storer=*/false,
-                                 it == shard_of.end() ? nullptr : it->second);
+        nodes_[id].seed_genesis(genesis, /*is_storer=*/false,
+                                 it == shard_of.end() ? nullptr : it->second, &owners);
       }
     } else {
       const std::vector<NodeId> storers = storers_of(hash, 0, c, /*online_only=*/false);
       for (NodeId id : directory_->members(c)) {
         const bool is_storer = std::find(storers.begin(), storers.end(), id) != storers.end();
-        nodes_[id]->seed_genesis(genesis, is_storer);
+        nodes_[id].seed_genesis(genesis, is_storer, nullptr, &owners);
       }
     }
   }
@@ -156,9 +170,8 @@ void IciNetwork::init_with_genesis(const Block& genesis) {
 std::vector<NodeId> IciNetwork::shard_holders(const Hash256& hash, std::uint64_t height,
                                               std::size_t cluster) const {
   if (!coded()) throw std::logic_error("shard_holders: coding disabled");
-  std::vector<cluster::NodeInfo> members;
-  for (NodeId id : directory_->members(cluster)) members.push_back(directory_->info(id));
-  return assigner_->storers(hash, height, members, codec_->total_shards());
+  return assigner_->storers(hash, height, directory_->member_infos(cluster),
+                            codec_->total_shards());
 }
 
 void IciNetwork::disseminate(const Block& block) {
@@ -175,7 +188,7 @@ void IciNetwork::disseminate(const Block& block) {
   if (proposer == cluster::kNoNode) throw std::runtime_error("no online proposer available");
 
   progress_[block.hash()] = CommitProgress{0, sim_.now(), 0};
-  nodes_[proposer]->propose(block);
+  nodes_[proposer].propose(block);
 }
 
 void IciNetwork::settle() {
@@ -233,7 +246,7 @@ void IciNetwork::preload_chain(const Chain& chain, bool build_tx_index) {
       for (std::size_t c = 0; c < k; ++c) {
         const std::vector<NodeId> holders = shard_holders(hash, h, c);
         for (std::size_t i = 0; i < holders.size(); ++i) {
-          nodes_[holders[i]]->shards().put(hash, shards[i]);
+          nodes_[holders[i]].shards().put(hash, shards[i]);
         }
       }
     } else {
@@ -242,18 +255,19 @@ void IciNetwork::preload_chain(const Chain& chain, bool build_tx_index) {
       auto shared = std::make_shared<const Block>(block);
       for (std::size_t c = 0; c < k; ++c) {
         for (NodeId id : storers_of(hash, h, c, /*online_only=*/false)) {
-          nodes_[id]->store().put_block(shared, hash);
+          nodes_[id].store().put_block(shared, hash);
         }
       }
     }
-    for (const auto& node : nodes_) {
-      node->store().put_header(block.header(), hash);
+    // One intern in the shared HeaderIndex, then a bitmap mark per node.
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+      nodes_[id].store().put_header(block.header(), hash);
     }
     if (build_tx_index) {
       for (const Transaction& tx : block.txs()) {
         const Hash256& txid = tx.txid();
         for (std::size_t c = 0; c < k; ++c) {
-          nodes_[utxo_owner(OutPoint{txid, 0}, c)]->index_tx(txid, hash, h);
+          nodes_[utxo_owner(OutPoint{txid, 0}, c)].index_tx(txid, hash, h);
         }
       }
     }
@@ -304,10 +318,10 @@ void IciNetwork::repair_cluster(std::size_t cluster) {
 
   const cluster::RepairPlan plan = cluster::plan_repair(
       ledger, alive, *assigner_, cfg_.ici.replication,
-      [this](NodeId id, const Hash256& h) { return nodes_[id]->store().has_block(h); });
+      [this](NodeId id, const Hash256& h) { return nodes_[id].store().has_block(h); });
 
   for (const cluster::RepairAction& action : plan.actions) {
-    nodes_[action.target]->pull_from(action.source, action.block_hash);
+    nodes_[action.target].pull_from(action.source, action.block_hash);
     metrics_.counter("repair.copies_started").inc();
   }
 
@@ -323,7 +337,7 @@ void IciNetwork::repair_cluster(std::size_t cluster) {
            ++other) {
         if (other == cluster) continue;
         for (NodeId id : storers_of(ref.hash, ref.height, other, /*online_only=*/true)) {
-          if (nodes_[id]->store().has_block(ref.hash)) {
+          if (nodes_[id].store().has_block(ref.hash)) {
             source = id;
             break;
           }
@@ -333,7 +347,7 @@ void IciNetwork::repair_cluster(std::size_t cluster) {
       const std::vector<NodeId> want =
           assigner_->storers(ref.hash, ref.height, alive, cfg_.ici.replication);
       if (want.empty()) continue;
-      nodes_[want.front()]->pull_from(source, ref.hash);
+      nodes_[want.front()].pull_from(source, ref.hash);
       metrics_.counter("repair.cross_cluster_copies").inc();
       --unrecoverable;
     }
@@ -348,8 +362,6 @@ void IciNetwork::repair_cluster_coded(std::size_t cluster) {
   // shards are unrecoverable inside the cluster until holders return.
   const std::size_t d = codec_->data_shards();
   std::vector<cluster::NodeInfo> alive_members = directory_->online_members(cluster);
-  std::vector<cluster::NodeInfo> all_members;
-  for (NodeId id : directory_->members(cluster)) all_members.push_back(directory_->info(id));
 
   for (const CommittedBlock& b : committed_) {
     const std::vector<NodeId> holders = shard_holders(b.hash, b.height, cluster);
@@ -359,7 +371,7 @@ void IciNetwork::repair_cluster_coded(std::size_t cluster) {
     for (std::uint32_t i = 0; i < holders.size(); ++i) {
       bool held_online = false;
       for (const cluster::NodeInfo& m : alive_members) {
-        if (nodes_[m.id]->shards().has(b.hash, i) && directory_->online(m.id)) {
+        if (nodes_[m.id].shards().has(b.hash, i) && directory_->online(m.id)) {
           held_online = true;
           break;
         }
@@ -383,13 +395,13 @@ void IciNetwork::repair_cluster_coded(std::size_t cluster) {
       NodeId replacement = cluster::kNoNode;
       while (cursor < ranked.size()) {
         const NodeId candidate = ranked[cursor++];
-        if (!nodes_[candidate]->shards().has_any(b.hash)) {
+        if (!nodes_[candidate].shards().has_any(b.hash)) {
           replacement = candidate;
           break;
         }
       }
       if (replacement == cluster::kNoNode) break;  // cluster too small/busy
-      nodes_[replacement]->repair_shard(b.hash, b.height, index);
+      nodes_[replacement].repair_shard(b.hash, b.height, index);
       metrics_.counter("repair.shards_started").inc();
     }
   }
@@ -410,7 +422,7 @@ double IciNetwork::availability() const {
         std::size_t distinct = 0;
         for (NodeId id : members) {
           if (!directory_->online(id)) continue;
-          for (std::uint32_t index : nodes_[id]->shards().indices(b.hash)) {
+          for (std::uint32_t index : nodes_[id].shards().indices(b.hash)) {
             if (index < seen.size() && !seen[index]) {
               seen[index] = true;
               ++distinct;
@@ -420,7 +432,7 @@ double IciNetwork::availability() const {
         if (distinct >= codec_->data_shards()) ++available;
       } else {
         for (NodeId id : members) {
-          if (directory_->online(id) && nodes_[id]->store().has_block(b.hash)) {
+          if (directory_->online(id) && nodes_[id].store().has_block(b.hash)) {
             ++available;
             break;
           }
@@ -443,7 +455,7 @@ double IciNetwork::network_availability() const {
       std::size_t distinct = 0;
       for (std::size_t id = 0; id < nodes_.size() && !servable; ++id) {
         if (!directory_->online(static_cast<NodeId>(id))) continue;
-        for (std::uint32_t index : nodes_[id]->shards().indices(b.hash)) {
+        for (std::uint32_t index : nodes_[id].shards().indices(b.hash)) {
           if (index < seen.size() && !seen[index]) {
             seen[index] = true;
             if (++distinct >= codec_->data_shards()) {
@@ -456,7 +468,7 @@ double IciNetwork::network_availability() const {
     } else {
       for (std::size_t id = 0; id < nodes_.size(); ++id) {
         if (directory_->online(static_cast<NodeId>(id)) &&
-            nodes_[id]->store().has_block(b.hash)) {
+            nodes_[id].store().has_block(b.hash)) {
           servable = true;
           break;
         }
@@ -470,17 +482,22 @@ double IciNetwork::network_availability() const {
 std::vector<const BlockStore*> IciNetwork::stores() const {
   std::vector<const BlockStore*> out;
   out.reserve(nodes_.size());
-  for (const auto& node : nodes_) out.push_back(&node->store());
+  for (std::size_t id = 0; id < nodes_.size(); ++id) out.push_back(&nodes_[id].store());
   return out;
 }
 
 StorageSnapshot IciNetwork::storage_snapshot() const {
+  // Pure SoA scan: one pass over the contiguous tally rows, no node-object
+  // pointer chasing. Matches IciNode::storage_bytes() per construction.
   StorageSnapshot snap;
   RunningStat stat;
-  for (const auto& node : nodes_) {
-    const auto bytes = static_cast<double>(node->storage_bytes());
-    stat.add(bytes);
-    snap.total_bytes += node->storage_bytes();
+  for (const NodeStorageTally& t : fleet_tally_.slots()) {
+    const std::uint64_t bytes = t.body_bytes +
+                                static_cast<std::uint64_t>(t.header_count) *
+                                    BlockHeader::kWireSize +
+                                t.shard_bytes + t.utxo_entries * (36 + 8 + 32);
+    stat.add(static_cast<double>(bytes));
+    snap.total_bytes += bytes;
   }
   snap.mean_bytes = stat.mean();
   snap.max_bytes = stat.max();
@@ -552,12 +569,12 @@ IciNetwork::ReconfigReport IciNetwork::reconfigure(std::uint64_t epoch_seed) {
     // Holders anywhere in the network right now.
     std::vector<NodeId> holders;
     for (std::size_t id = 0; id < nodes_.size(); ++id) {
-      if (nodes_[id]->store().has_block(b.hash)) holders.push_back(static_cast<NodeId>(id));
+      if (nodes_[id].store().has_block(b.hash)) holders.push_back(static_cast<NodeId>(id));
     }
     if (holders.empty()) continue;  // unrecoverable; counted by availability
     for (std::size_t c = 0; c < directory_->cluster_count(); ++c) {
       for (NodeId target : storers_of(b.hash, b.height, c, /*online_only=*/false)) {
-        if (nodes_[target]->store().has_block(b.hash)) continue;
+        if (nodes_[target].store().has_block(b.hash)) continue;
         NodeId source = holders.front();
         double best = std::numeric_limits<double>::max();
         for (NodeId h : holders) {
@@ -568,7 +585,7 @@ IciNetwork::ReconfigReport IciNetwork::reconfigure(std::uint64_t epoch_seed) {
             source = h;
           }
         }
-        nodes_[target]->pull_from(source, b.hash);
+        nodes_[target].pull_from(source, b.hash);
         ++report.copies_started;
         metrics_.counter("reconfig.copies_started").inc();
       }
@@ -585,12 +602,12 @@ std::uint64_t IciNetwork::prune_unassigned() {
       // Only prune when the assigned set actually holds the block, so a
       // premature prune can never create a coverage hole.
       const bool covered = std::all_of(want.begin(), want.end(), [&](NodeId id) {
-        return nodes_[id]->store().has_block(b.hash);
+        return nodes_[id].store().has_block(b.hash);
       });
       if (!covered) continue;
       for (NodeId id : directory_->members(c)) {
         if (std::find(want.begin(), want.end(), id) != want.end()) continue;
-        freed += nodes_[id]->prune(b.hash);
+        freed += nodes_[id].prune(b.hash);
       }
     }
   }
@@ -605,10 +622,10 @@ NodeId IciNetwork::add_joiner(sim::Coord coord, std::size_t cluster) {
   info.capacity = 1.0;
   infos_.push_back(info);
   directory_->add_member(info, cluster);
-  auto node = std::make_unique<IciNode>(*this, info.id);
-  const sim::NodeId assigned = net_->add_node(node.get(), coord);
+  fleet_tally_.ensure_size(static_cast<std::size_t>(info.id) + 1);
+  IciNode& node = nodes_.emplace_back(*this, info.id);
+  const sim::NodeId assigned = net_->add_node(&node, coord);
   if (assigned != info.id) throw std::logic_error("joiner id mismatch");
-  nodes_.push_back(std::move(node));
   return info.id;
 }
 

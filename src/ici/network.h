@@ -17,11 +17,14 @@
 #include "cluster/assignment.h"
 #include "cluster/directory.h"
 #include "cluster/repair.h"
+#include "common/arena.h"
 #include "erasure/rs.h"
 #include "ici/node.h"
 #include "metrics/registry.h"
 #include "sim/churn.h"
 #include "sim/faults.h"
+#include "storage/fleet_tally.h"
+#include "storage/header_index.h"
 #include "storage/storage_meter.h"
 
 namespace ici::core {
@@ -107,8 +110,16 @@ class IciNetwork {
   [[nodiscard]] const IciConfig& config() const { return cfg_.ici; }
   [[nodiscard]] metrics::Registry& metrics() { return metrics_; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  [[nodiscard]] IciNode& node(cluster::NodeId id) { return *nodes_.at(id); }
-  [[nodiscard]] const IciNode& node(cluster::NodeId id) const { return *nodes_.at(id); }
+  [[nodiscard]] IciNode& node(cluster::NodeId id) { return nodes_.at(id); }
+  [[nodiscard]] const IciNode& node(cluster::NodeId id) const { return nodes_.at(id); }
+
+  /// The fleet-shared header table every node's BlockStore interns into.
+  [[nodiscard]] const std::shared_ptr<HeaderIndex>& header_index() const {
+    return header_index_;
+  }
+  /// Hot per-node storage scalars, contiguous by node id (see fleet_tally.h).
+  [[nodiscard]] FleetTally& fleet_tally() { return fleet_tally_; }
+  [[nodiscard]] const FleetTally& fleet_tally() const { return fleet_tally_; }
 
   /// Online storers responsible for a block within `cluster` (assignment
   /// over the full membership; offline assignees simply cannot serve).
@@ -169,7 +180,7 @@ class IciNetwork {
 
   /// Marks a node byzantine/faulty for robustness experiments.
   void set_fault(cluster::NodeId id, FaultProfile profile) {
-    nodes_.at(id)->set_fault(profile);
+    nodes_.at(id).set_fault(profile);
   }
 
   // -- epoch reconfiguration ------------------------------------------------
@@ -201,7 +212,11 @@ class IciNetwork {
   std::unique_ptr<cluster::ClusterDirectory> directory_;
   std::unique_ptr<cluster::BlockAssigner> assigner_;
   std::unique_ptr<cluster::BlockAssigner> shard_owner_assigner_;  // unweighted, r=1
-  std::vector<std::unique_ptr<IciNode>> nodes_;
+  // Shared immutable snapshot + SoA tallies must outlive the nodes bound to
+  // them (nodes_ is declared after both).
+  std::shared_ptr<HeaderIndex> header_index_ = std::make_shared<HeaderIndex>();
+  FleetTally fleet_tally_;
+  ObjectArena<IciNode> nodes_;
   std::unique_ptr<sim::ChurnModel> churn_;
   // Declared after net_ so it uninstalls its network hook before the
   // network dies.

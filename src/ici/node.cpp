@@ -41,10 +41,16 @@ constexpr std::size_t kSliceVerifyGrain = 8;
 }  // namespace
 
 IciNode::IciNode(IciNetwork& ctx, NodeId id)
-    : ctx_(ctx), id_(id), key_(KeyPair::from_seed(0x1c1'0000ULL + id)) {}
+    : ctx_(ctx), id_(id), key_(KeyPair::from_seed(0x1c1'0000ULL + id)),
+      store_(ctx.header_index()) {
+  // Hot storage scalars live in the fleet's contiguous tally row for this
+  // id; the stores write through it (fleet_tally.h).
+  store_.bind_tally(&ctx.fleet_tally(), id);
+  shard_store_.bind_tally(&ctx.fleet_tally(), id);
+}
 
 void IciNode::seed_genesis(const Block& genesis, bool is_storer,
-                           const erasure::Shard* shard) {
+                           const erasure::Shard* shard, const GenesisOwnerMap* owners) {
   const Hash256 h = genesis.hash();
   if (is_storer) {
     store_.put_block(genesis, h);
@@ -53,12 +59,15 @@ void IciNode::seed_genesis(const Block& genesis, bool is_storer,
   }
   if (shard != nullptr) shard_store_.put(h, *shard);
   const std::size_t my_cluster = ctx_.directory().cluster_of(id_);
+  auto& tally = ctx_.fleet_tally().slot(id_);
   for (const Transaction& tx : genesis.txs()) {
     const Hash256& id = tx.txid();
     for (std::uint32_t i = 0; i < tx.outputs().size(); ++i) {
       const OutPoint op{id, i};
-      if (ctx_.utxo_owner(op, my_cluster) == id_) {
-        shard_.emplace(op, tx.outputs()[i]);
+      const NodeId owner =
+          owners != nullptr ? owners->at(op) : ctx_.utxo_owner(op, my_cluster);
+      if (owner == id_) {
+        if (shard_.emplace(op, tx.outputs()[i]).second) ++tally.utxo_entries;
         if (i == 0) tx_index_[id] = {h, 0};
       }
     }
@@ -692,9 +701,10 @@ void IciNode::finish_slice(const Hash256& block_hash) {
 void IciNode::handle_commit(sim::NodeId from, const CommitMsg& msg) {
   (void)from;
   store_.put_header(msg.header, msg.block_hash);
-  for (const OutPoint& op : msg.spent) shard_.erase(op);
+  auto& tally = ctx_.fleet_tally().slot(id_);
+  for (const OutPoint& op : msg.spent) tally.utxo_entries -= shard_.erase(op);
   for (const auto& [op, out] : msg.created) {
-    shard_[op] = out;
+    if (shard_.insert_or_assign(op, out).second) ++tally.utxo_entries;
     // Free tx index: the owner of a tx's first output learns where the tx
     // landed from the delta it receives anyway.
     if (op.index == 0) tx_index_[op.txid] = {msg.block_hash, msg.header.height};

@@ -102,11 +102,19 @@ class IciNode final : public sim::INode {
   using UtxoShard = std::unordered_map<OutPoint, TxOutput, OutPointHasher>;
   [[nodiscard]] const UtxoShard& utxo_shard() const { return shard_; }
 
+  /// Precomputed outpoint→owner table for one cluster's genesis seeding.
+  /// Computing it once per cluster (in IciNetwork::init_with_genesis)
+  /// replaces a rendezvous pass per (node, outpoint) pair — the difference
+  /// between ~51M and ~1e9 hashes when seeding a 100k-node fleet.
+  using GenesisOwnerMap = std::unordered_map<OutPoint, cluster::NodeId, OutPointHasher>;
+
   /// Installs genesis state directly (no messages): header, body if this
   /// node is a genesis storer (or `shard` in coded mode), and the owned
-  /// slice of genesis outputs.
+  /// slice of genesis outputs. With `owners` the ownership lookup is a map
+  /// probe; without it the node falls back to per-outpoint rendezvous.
   void seed_genesis(const Block& genesis, bool is_storer,
-                    const erasure::Shard* shard = nullptr);
+                    const erasure::Shard* shard = nullptr,
+                    const GenesisOwnerMap* owners = nullptr);
 
   [[nodiscard]] ShardStore& shards() { return shard_store_; }
   [[nodiscard]] const ShardStore& shards() const { return shard_store_; }

@@ -1,0 +1,39 @@
+#include "metrics/memstats.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ici::metrics {
+
+namespace {
+
+/// Parses "<kB value>" out of a "/proc/self/status" line like
+/// "VmRSS:      123456 kB". Returns 0 on any mismatch.
+std::uint64_t parse_kb(const char* line) {
+  std::uint64_t kb = 0;
+  const char* p = std::strchr(line, ':');
+  if (p == nullptr) return 0;
+  if (std::sscanf(p + 1, "%llu", reinterpret_cast<unsigned long long*>(&kb)) != 1) return 0;
+  return kb * 1024;
+}
+
+}  // namespace
+
+MemoryStats read_memory_stats() {
+  MemoryStats stats;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return stats;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      stats.rss_bytes = parse_kb(line);
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      stats.peak_rss_bytes = parse_kb(line);
+    }
+    if (stats.rss_bytes != 0 && stats.peak_rss_bytes != 0) break;
+  }
+  std::fclose(f);
+  return stats;
+}
+
+}  // namespace ici::metrics

@@ -1,0 +1,22 @@
+// Process memory statistics for bench reports.
+//
+// Reads VmRSS/VmHWM from /proc/self/status — zero syscall-free alternatives
+// exist for peak RSS on Linux, and the benches only sample this once per
+// report, so a small text parse is fine. On platforms without procfs the
+// fields stay zero and callers skip the derived metrics.
+#pragma once
+
+#include <cstdint>
+
+namespace ici::metrics {
+
+struct MemoryStats {
+  /// Current resident set size in bytes (VmRSS). 0 when unavailable.
+  std::uint64_t rss_bytes = 0;
+  /// Peak resident set size in bytes (VmHWM). 0 when unavailable.
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+[[nodiscard]] MemoryStats read_memory_stats();
+
+}  // namespace ici::metrics

@@ -80,6 +80,10 @@ class Network {
   /// Registers a node; returns its id (dense, starting at 0).
   NodeId add_node(INode* node, Coord coord, double uplink_bps = 0.0);
 
+  /// Pre-sizes the slot table: a facade that knows its node count up front
+  /// avoids the O(log N) reallocation copies of 100k+ NodeSlots.
+  void reserve_nodes(std::size_t n) { nodes_.reserve(n); }
+
   /// Rebinds an id to a (new) endpoint — used when a node restarts.
   void rebind(NodeId id, INode* node);
 

@@ -2,24 +2,38 @@
 
 namespace ici {
 
+void BlockStore::bind_tally(FleetTally* fleet, std::size_t slot) {
+  const NodeStorageTally recorded = own_;
+  fleet_ = fleet;
+  fleet_slot_ = slot;
+  if (recorded.body_bytes != 0 || recorded.header_count != 0) {
+    NodeStorageTally& t = tally();
+    t.body_bytes += recorded.body_bytes;
+    t.header_count += recorded.header_count;
+    own_ = NodeStorageTally{};
+  }
+}
+
 void BlockStore::put_header(const BlockHeader& header) { put_header(header, header.hash()); }
 
 void BlockStore::put_header(const BlockHeader& header, const Hash256& hash) {
-  if (headers_.emplace(hash, header).second) {
-    header_by_height_[header.height] = hash;
+  const std::uint32_t slot = index_->intern(header, hash);
+  if (!have_slot(slot)) {
+    mark_slot(slot);
+    ++tally().header_count;
   }
 }
 
 std::optional<BlockHeader> BlockStore::header_by_hash(const Hash256& hash) const {
-  const auto it = headers_.find(hash);
-  if (it == headers_.end()) return std::nullopt;
-  return it->second;
+  const std::uint32_t slot = index_->slot_of(hash);
+  if (slot == HeaderIndex::kNoSlot || !have_slot(slot)) return std::nullopt;
+  return index_->header(slot);
 }
 
 std::optional<BlockHeader> BlockStore::header_at(std::uint64_t height) const {
-  const auto it = header_by_height_.find(height);
-  if (it == header_by_height_.end()) return std::nullopt;
-  return header_by_hash(it->second);
+  const std::uint32_t slot = index_->slot_at(height);
+  if (slot == HeaderIndex::kNoSlot || !have_slot(slot)) return std::nullopt;
+  return index_->header(slot);
 }
 
 void BlockStore::put_block(std::shared_ptr<const Block> block) {
@@ -38,7 +52,7 @@ void BlockStore::put_block(const Block& block, const Hash256& hash) {
 void BlockStore::put_block(std::shared_ptr<const Block> block, const Hash256& hash) {
   put_header(block->header(), hash);
   if (bodies_.contains(hash)) return;
-  body_bytes_ += block->serialized_size();
+  tally().body_bytes += block->serialized_size();
   bodies_.emplace(hash, std::move(block));
 }
 
@@ -55,16 +69,16 @@ std::shared_ptr<const Block> BlockStore::block_ptr(const Hash256& hash) const {
 }
 
 const Block* BlockStore::block_at(std::uint64_t height) const {
-  const auto it = header_by_height_.find(height);
-  if (it == header_by_height_.end()) return nullptr;
-  return block_by_hash(it->second);
+  const std::uint32_t slot = index_->slot_at(height);
+  if (slot == HeaderIndex::kNoSlot) return nullptr;
+  return block_by_hash(index_->hash(slot));
 }
 
 std::uint64_t BlockStore::prune_block(const Hash256& hash) {
   const auto it = bodies_.find(hash);
   if (it == bodies_.end()) return 0;
   const std::uint64_t freed = it->second->serialized_size();
-  body_bytes_ -= freed;
+  tally().body_bytes -= freed;
   bodies_.erase(it);
   return freed;
 }

@@ -5,6 +5,16 @@
 // Bodies are held as shared_ptr<const Block>: blocks are immutable, so the
 // thousands of simulated nodes share one object per block while each store's
 // byte accounting still reflects what a real node would persist.
+//
+// Headers are interned in a HeaderIndex — by default a private one (so a
+// standalone store behaves exactly as before), but the network facades pass
+// every node's store one SHARED index, so a fleet of N nodes holding B
+// headers costs B header objects plus N tiny occupancy bitmaps instead of
+// N x B map entries. header_bytes() still reports what THIS node persists.
+//
+// Accounting scalars (body bytes, header count) live in a NodeStorageTally
+// slot — private by default, or one row of the facade's FleetTally when
+// bind_tally() was called (struct-of-arrays; see fleet_tally.h).
 #pragma once
 
 #include <memory>
@@ -13,18 +23,29 @@
 #include <vector>
 
 #include "chain/block.h"
+#include "storage/fleet_tally.h"
+#include "storage/header_index.h"
 
 namespace ici {
 
 class BlockStore {
  public:
+  /// Standalone store with its own private header index.
+  BlockStore() : index_(std::make_shared<HeaderIndex>()) {}
+  /// Store sharing a fleet-wide header index (facade-constructed nodes).
+  explicit BlockStore(std::shared_ptr<HeaderIndex> index) : index_(std::move(index)) {}
+
+  /// Routes the accounting scalars into `fleet`'s slot (migrating any
+  /// already-recorded bytes). `fleet` must outlive this store.
+  void bind_tally(FleetTally* fleet, std::size_t slot);
+
   /// Stores a header (idempotent). Headers index by hash and height.
   void put_header(const BlockHeader& header);
   /// Same, with the hash precomputed by the caller (bulk-load fast path).
   void put_header(const BlockHeader& header, const Hash256& hash);
   [[nodiscard]] std::optional<BlockHeader> header_by_hash(const Hash256& hash) const;
   [[nodiscard]] std::optional<BlockHeader> header_at(std::uint64_t height) const;
-  [[nodiscard]] std::size_t header_count() const { return headers_.size(); }
+  [[nodiscard]] std::size_t header_count() const { return tally().header_count; }
 
   /// Stores a full block body (idempotent; also records the header).
   void put_block(std::shared_ptr<const Block> block);
@@ -43,10 +64,11 @@ class BlockStore {
   std::uint64_t prune_block(const Hash256& hash);
 
   /// Bytes of stored bodies.
-  [[nodiscard]] std::uint64_t body_bytes() const { return body_bytes_; }
-  /// Bytes of stored headers.
+  [[nodiscard]] std::uint64_t body_bytes() const { return tally().body_bytes; }
+  /// Bytes of stored headers (what this node persists, not what the shared
+  /// index holds).
   [[nodiscard]] std::uint64_t header_bytes() const {
-    return headers_.size() * BlockHeader::kWireSize;
+    return static_cast<std::uint64_t>(tally().header_count) * BlockHeader::kWireSize;
   }
   /// Total footprint (bodies + headers).
   [[nodiscard]] std::uint64_t total_bytes() const { return body_bytes() + header_bytes(); }
@@ -54,11 +76,33 @@ class BlockStore {
   /// Hashes of all stored bodies (unordered).
   [[nodiscard]] std::vector<Hash256> stored_hashes() const;
 
+  /// The header table this store interns into (shared across a fleet, or
+  /// private for standalone stores).
+  [[nodiscard]] const std::shared_ptr<HeaderIndex>& header_index() const { return index_; }
+
  private:
-  std::unordered_map<Hash256, BlockHeader, Hash256Hasher> headers_;
-  std::unordered_map<std::uint64_t, Hash256> header_by_height_;
+  [[nodiscard]] NodeStorageTally& tally() {
+    return fleet_ != nullptr ? fleet_->slot(fleet_slot_) : own_;
+  }
+  [[nodiscard]] const NodeStorageTally& tally() const {
+    return fleet_ != nullptr ? fleet_->slot(fleet_slot_) : own_;
+  }
+  [[nodiscard]] bool have_slot(std::uint32_t slot) const {
+    const std::size_t word = slot >> 6;
+    return word < have_.size() && (have_[word] >> (slot & 63)) & 1u;
+  }
+  void mark_slot(std::uint32_t slot) {
+    const std::size_t word = slot >> 6;
+    if (word >= have_.size()) have_.resize(word + 1, 0);
+    have_[word] |= std::uint64_t{1} << (slot & 63);
+  }
+
+  std::shared_ptr<HeaderIndex> index_;
+  std::vector<std::uint64_t> have_;  // occupancy bitmap over index slots
   std::unordered_map<Hash256, std::shared_ptr<const Block>, Hash256Hasher> bodies_;
-  std::uint64_t body_bytes_ = 0;
+  FleetTally* fleet_ = nullptr;
+  std::size_t fleet_slot_ = 0;
+  NodeStorageTally own_;
 };
 
 }  // namespace ici

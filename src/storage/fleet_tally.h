@@ -1,0 +1,45 @@
+// FleetTally: the hot per-node storage scalars of a whole simulated fleet,
+// struct-of-arrays style — one contiguous vector indexed by node id instead
+// of a field buried inside each heap-allocated node object.
+//
+// BlockStore/ShardStore write their accounting through a (FleetTally*,
+// slot) binding, so fleet-wide scans (StorageSnapshot, balance stats) walk
+// one cache-friendly array instead of pointer-chasing N node objects. A
+// store that is never bound falls back to a private tally, keeping
+// standalone use (unit tests, the pruned baseline) unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ici {
+
+/// One node's storage accounting. body/shard bytes are wire-accurate;
+/// header storage is header_count x BlockHeader::kWireSize (the headers
+/// themselves are interned in a shared HeaderIndex).
+struct NodeStorageTally {
+  std::uint64_t body_bytes = 0;
+  std::uint64_t shard_bytes = 0;
+  std::uint64_t utxo_entries = 0;
+  std::uint32_t header_count = 0;
+  std::uint32_t shard_count = 0;
+};
+
+class FleetTally {
+ public:
+  /// Grows to at least n slots (never shrinks; slot references are by
+  /// index, so growth is safe for bound stores).
+  void ensure_size(std::size_t n) {
+    if (slots_.size() < n) slots_.resize(n);
+  }
+
+  [[nodiscard]] NodeStorageTally& slot(std::size_t i) { return slots_.at(i); }
+  [[nodiscard]] const NodeStorageTally& slot(std::size_t i) const { return slots_.at(i); }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] const std::vector<NodeStorageTally>& slots() const { return slots_; }
+
+ private:
+  std::vector<NodeStorageTally> slots_;
+};
+
+}  // namespace ici

@@ -1,0 +1,25 @@
+#include "storage/header_index.h"
+
+namespace ici {
+
+std::uint32_t HeaderIndex::intern(const BlockHeader& header, const Hash256& hash) {
+  const auto [it, inserted] = by_hash_.emplace(hash, static_cast<std::uint32_t>(headers_.size()));
+  if (inserted) {
+    headers_.push_back(header);
+    hashes_.push_back(hash);
+    by_height_.emplace(header.height, it->second);  // first-wins per height
+  }
+  return it->second;
+}
+
+std::uint32_t HeaderIndex::slot_of(const Hash256& hash) const {
+  const auto it = by_hash_.find(hash);
+  return it == by_hash_.end() ? kNoSlot : it->second;
+}
+
+std::uint32_t HeaderIndex::slot_at(std::uint64_t height) const {
+  const auto it = by_height_.find(height);
+  return it == by_height_.end() ? kNoSlot : it->second;
+}
+
+}  // namespace ici

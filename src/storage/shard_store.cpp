@@ -2,12 +2,24 @@
 
 namespace ici {
 
+void ShardStore::bind_tally(FleetTally* fleet, std::size_t slot) {
+  const NodeStorageTally recorded = own_;
+  fleet_ = fleet;
+  fleet_slot_ = slot;
+  if (recorded.shard_bytes != 0 || recorded.shard_count != 0) {
+    NodeStorageTally& t = tally();
+    t.shard_bytes += recorded.shard_bytes;
+    t.shard_count += recorded.shard_count;
+    own_ = NodeStorageTally{};
+  }
+}
+
 void ShardStore::put(const Hash256& block, erasure::Shard shard) {
   auto& per_block = shards_[block];
   const auto [it, inserted] = per_block.emplace(shard.index, std::move(shard));
   if (inserted) {
-    total_bytes_ += it->second.bytes.size();
-    ++shard_count_;
+    tally().shard_bytes += it->second.bytes.size();
+    ++tally().shard_count;
   }
 }
 
@@ -46,8 +58,8 @@ std::uint64_t ShardStore::prune(const Hash256& block, std::uint32_t index) {
   const auto inner = it->second.find(index);
   if (inner == it->second.end()) return 0;
   const std::uint64_t freed = inner->second.bytes.size();
-  total_bytes_ -= freed;
-  --shard_count_;
+  tally().shard_bytes -= freed;
+  --tally().shard_count;
   it->second.erase(inner);
   if (it->second.empty()) shards_.erase(it);
   return freed;

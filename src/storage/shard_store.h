@@ -11,11 +11,16 @@
 
 #include "crypto/hash.h"
 #include "erasure/rs.h"
+#include "storage/fleet_tally.h"
 
 namespace ici {
 
 class ShardStore {
  public:
+  /// Routes the accounting scalars into `fleet`'s slot (struct-of-arrays;
+  /// see fleet_tally.h). `fleet` must outlive this store.
+  void bind_tally(FleetTally* fleet, std::size_t slot);
+
   /// Stores (idempotent per (block, index)).
   void put(const Hash256& block, erasure::Shard shard);
 
@@ -28,14 +33,22 @@ class ShardStore {
   /// Drops one shard; returns bytes freed.
   std::uint64_t prune(const Hash256& block, std::uint32_t index);
 
-  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
-  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return tally().shard_bytes; }
+  [[nodiscard]] std::size_t shard_count() const { return tally().shard_count; }
 
  private:
+  [[nodiscard]] NodeStorageTally& tally() {
+    return fleet_ != nullptr ? fleet_->slot(fleet_slot_) : own_;
+  }
+  [[nodiscard]] const NodeStorageTally& tally() const {
+    return fleet_ != nullptr ? fleet_->slot(fleet_slot_) : own_;
+  }
+
   std::unordered_map<Hash256, std::unordered_map<std::uint32_t, erasure::Shard>, Hash256Hasher>
       shards_;
-  std::uint64_t total_bytes_ = 0;
-  std::size_t shard_count_ = 0;
+  FleetTally* fleet_ = nullptr;
+  std::size_t fleet_slot_ = 0;
+  NodeStorageTally own_;
 };
 
 }  // namespace ici

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validate the repository's markdown documentation.
+
+Two checks, stdlib only — wired into CTest as `docs_check` (label `docs`):
+
+1. **Intra-repo links.** Every relative `[text](target)` in every tracked
+   .md file must point at a file that exists; `file#anchor` (and bare
+   `#anchor`) targets must match a heading in the target file under
+   GitHub's slug rules. External links (http/https/mailto) are skipped —
+   the suite must not depend on the network.
+
+2. **Flag tables.** The README documents `tools/icisim`'s flags in a
+   table; those tables rot silently when flags are added or renamed.
+   With --icisim pointing at the built binary, the documented flag set
+   is compared against what `--help` actually prints, both directions.
+
+    $ python3 tools/check_docs.py --repo-root . --icisim build/tools/icisim
+
+Exit status: 0 = docs clean, 1 = validation failure, 2 = usage error.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+# Directories never scanned for markdown (build trees, VCS internals).
+SKIP_DIRS = {".git", ".claude", "third_party"}
+SKIP_DIR_PREFIXES = ("build",)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HELP_FLAG_RE = re.compile(r"^\s{2}(--[a-z][a-z0-9-]*)\b")
+TABLE_FLAG_RE = re.compile(r"`(--[a-z][a-z0-9-]*)`")
+
+
+def find_markdown_files(root):
+    files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_DIR_PREFIXES)
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def strip_code(text):
+    """Drops fenced code blocks and inline code spans; keeps line count."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else re.sub(r"`[^`]*`", "``", line))
+    return "\n".join(out)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*]", "", slug)          # formatting markers
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links -> text
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        slugs = set()
+        counts = {}
+        with open(path, "r", encoding="utf-8") as handle:
+            body = strip_code(handle.read())
+        for line in body.splitlines():
+            match = HEADING_RE.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_links(root, files):
+    errors = []
+    anchor_cache = {}
+    for path in files:
+        rel = os.path.relpath(path, root)
+        with open(path, "r", encoding="utf-8") as handle:
+            body = strip_code(handle.read())
+        for lineno, line in enumerate(body.splitlines(), start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                    continue
+                file_part, _, anchor = target.partition("#")
+                if file_part:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(path), file_part))
+                    if not dest.startswith(os.path.abspath(root)):
+                        errors.append(f"{rel}:{lineno}: link escapes the "
+                                      f"repository: {target}")
+                        continue
+                    if not os.path.exists(dest):
+                        errors.append(f"{rel}:{lineno}: broken link: {target}")
+                        continue
+                else:
+                    dest = path
+                if anchor and dest.endswith(".md"):
+                    if anchor not in anchors_of(dest, anchor_cache):
+                        errors.append(f"{rel}:{lineno}: no heading for "
+                                      f"anchor: {target}")
+    return errors
+
+
+def documented_icisim_flags(root):
+    """Flags named in the README's `tools/icisim` flag table."""
+    readme = os.path.join(root, "README.md")
+    flags = set()
+    in_table = False
+    with open(readme, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if "`tools/icisim` flags" in line:
+                in_table = True
+                continue
+            if in_table:
+                if line.startswith("|"):
+                    flags.update(TABLE_FLAG_RE.findall(line.split("|")[1]))
+                elif flags and line.strip() and not line.startswith("|"):
+                    break
+    return flags
+
+
+def check_flag_table(root, icisim):
+    try:
+        out = subprocess.run([icisim, "--help"], capture_output=True,
+                             text=True, timeout=60).stdout
+    except OSError as exc:
+        return [f"cannot run {icisim} --help: {exc}"]
+    actual = {m.group(1) for line in out.splitlines()
+              if (m := HELP_FLAG_RE.match(line))}
+    actual.discard("--help")
+    documented = documented_icisim_flags(root)
+    if not documented:
+        return ["README.md: could not locate the `tools/icisim` flag table"]
+    errors = []
+    for flag in sorted(actual - documented):
+        errors.append(f"README.md: icisim flag {flag} is missing from the "
+                      "flag table")
+    for flag in sorted(documented - actual):
+        errors.append(f"README.md: flag table documents {flag}, which "
+                      "icisim --help does not list")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate intra-repo markdown links and flag tables.")
+    parser.add_argument("--repo-root", default=".",
+                        help="repository root to scan (default: .)")
+    parser.add_argument("--icisim", default="",
+                        help="path to the built icisim binary; enables the "
+                             "flag-table check")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.repo_root)
+    if not os.path.isdir(root):
+        print(f"error: no such directory: {root}", file=sys.stderr)
+        sys.exit(2)
+
+    files = find_markdown_files(root)
+    if not files:
+        print(f"error: no markdown files under {root}", file=sys.stderr)
+        sys.exit(2)
+
+    errors = check_links(root, files)
+    if args.icisim:
+        errors += check_flag_table(root, args.icisim)
+
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"checked {len(files)} markdown file(s)"
+          + (", icisim flag table consistent" if args.icisim else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "ici/network.h"
+#include "metrics/memstats.h"
 #include "obs/bench_report.h"
 #include "sim/faults.h"
 
@@ -202,6 +203,14 @@ int main(int argc, char** argv) {
     row.set("availability_min", availability.min());
   }
   report.capture_registry(network->metrics());
+  // Memory footprint of the run (environment measurement, not part of the
+  // deterministic sim.* counters; see docs/MEMORY.md).
+  const metrics::MemoryStats mem = metrics::read_memory_stats();
+  if (mem.peak_rss_bytes != 0) {
+    report.add_counter("sim.rss_bytes", mem.rss_bytes);
+    report.add_counter("sim.peak_rss_bytes", mem.peak_rss_bytes);
+    report.add_counter("sim.bytes_per_node", mem.peak_rss_bytes / nodes);
+  }
   report.capture_spans();
   try {
     const std::string path = report.write();
