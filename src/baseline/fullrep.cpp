@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "metrics/sim_metrics.h"
 #include "obs/trace.h"
+#include "sync/driver.h"
+#include "sync/serve.h"
 
 namespace ici::baseline {
 
@@ -25,6 +27,10 @@ void FullRepNode::seed_genesis(std::shared_ptr<const Block> genesis) {
 }
 
 void FullRepNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (const auto* s = dynamic_cast<const sync::SyncMessage*>(msg.get())) {
+    handle_sync_message(from, *s);
+    return;
+  }
   if (const auto* inv = dynamic_cast<const InvMsg*>(msg.get())) {
     if (!store_.has_block(inv->hash) && !requested_.contains(inv->hash)) {
       requested_.insert(inv->hash);
@@ -112,6 +118,66 @@ void FullRepNode::start_sync(sim::NodeId peer, std::function<void(std::size_t)> 
   auto req = std::make_shared<SyncRequestMsg>();
   req->from_height = 0;
   ctx_.network().send(id_, peer, std::move(req));
+}
+
+// -- streaming bulk-sync (docs/BOOTSTRAP.md) --------------------------------
+
+void FullRepNode::start_streaming_sync(
+    const sync::SyncConfig& cfg, sync::SyncCheckpoint* checkpoint,
+    std::vector<sim::NodeId> candidates,
+    std::function<void(const sync::SyncReport&)> on_done) {
+  const std::uint64_t session_id =
+      (static_cast<std::uint64_t>(id_) << 20) + (++sync_epoch_);
+  sync_session_ = sync::BulkPullSession::start(*this, cfg, checkpoint,
+                                               std::move(candidates), session_id,
+                                               std::move(on_done));
+}
+
+void FullRepNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg) {
+  switch (msg.sync_kind()) {
+    case sync::SyncMsgKind::kFrontierRequest: {
+      const auto& req = static_cast<const sync::FrontierRequestMsg&>(msg);
+      ctx_.network().send(
+          id_, from,
+          sync::serve_frontier(store_, req, store_.block_count(), /*serves_shards=*/false));
+      break;
+    }
+    case sync::SyncMsgKind::kRangeRequest: {
+      const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
+      ctx_.network().send(id_, from, sync::serve_range(store_, req));
+      break;
+    }
+    case sync::SyncMsgKind::kFrontierResponse:
+    case sync::SyncMsgKind::kRangeResponse:
+      if (sync_session_) sync_session_->on_sync_message(from, msg);
+      break;
+  }
+}
+
+sim::Simulator& FullRepNode::sync_simulator() { return ctx_.simulator(); }
+
+void FullRepNode::sync_send(sim::NodeId to, sim::MessagePtr msg) {
+  ctx_.network().send(id_, to, std::move(msg));
+}
+
+std::size_t FullRepNode::sync_message_overhead() const {
+  return ctx_.network().config().per_message_overhead;
+}
+
+void FullRepNode::sync_commit_header(const BlockHeader& header, const Hash256& hash) {
+  store_.put_header(header, hash);
+}
+
+void FullRepNode::sync_commit_body(const std::shared_ptr<const Block>& block) {
+  // Bulk sync installs without re-validating (the ranges were Merkle- and
+  // linkage-checked); the legacy one-shot path behaved the same.
+  store_.put_block(block);
+}
+
+std::vector<sim::NodeId> FullRepNode::sync_body_candidates(const Hash256&,
+                                                           std::uint64_t) {
+  // Fallback for a body missing from a range response: any gossip peer.
+  return ctx_.peers(id_);
 }
 
 // ---------------------------------------------------------------------------
@@ -204,37 +270,49 @@ void FullRepNetwork::preload_chain(const Chain& chain) {
   }
 }
 
-FullRepNetwork::BootstrapReport FullRepNetwork::bootstrap(sim::Coord coord) {
-  // Nearest existing node serves the download.
-  sim::NodeId best = 0;
-  double best_d = std::numeric_limits<double>::max();
-  for (sim::NodeId i = 0; i < nodes_.size(); ++i) {
-    const double d = sim::distance(coord, coords_[i]);
-    if (d < best_d) {
-      best_d = d;
-      best = static_cast<sim::NodeId>(i);
-    }
-  }
-
+sim::NodeId FullRepNetwork::add_sync_joiner(sim::Coord coord) {
   const auto joiner_id = static_cast<sim::NodeId>(nodes_.size());
   fleet_tally_.ensure_size(static_cast<std::size_t>(joiner_id) + 1);
   FullRepNode& node = nodes_.emplace_back(*this, joiner_id);
   const sim::NodeId id = net_->add_node(&node, coord);
   coords_.push_back(coord);
-  peers_.push_back({best});
-  peers_[best].push_back(id);
 
-  BootstrapReport report;
-  const sim::SimTime started = sim_.now();
-  nodes_[id].start_sync(best, [&report](std::size_t bodies) {
-    report.complete = true;
-    report.bodies_fetched = bodies;
+  // Connect the joiner to its peer_degree nearest nodes — the pull peers of
+  // the multi-peer bulk sync (the old path hung off a single neighbour).
+  std::vector<sim::NodeId> by_distance;
+  by_distance.reserve(nodes_.size() - 1);
+  for (sim::NodeId i = 0; i < id; ++i) by_distance.push_back(i);
+  std::sort(by_distance.begin(), by_distance.end(), [&](sim::NodeId a, sim::NodeId b) {
+    const double da = sim::distance(coord, coords_[a]);
+    const double db = sim::distance(coord, coords_[b]);
+    if (da != db) return da < db;
+    return a < b;
   });
-  sim_.run();
-  metrics::sync_sim_counters(metrics_, sim_);
-  report.elapsed_us = sim_.now() - started;
-  report.bytes_downloaded = net_->traffic(id).bytes_received;
+  if (by_distance.size() > cfg_.peer_degree) by_distance.resize(cfg_.peer_degree);
+  peers_.push_back(by_distance);
+  for (sim::NodeId peer : by_distance) peers_[peer].push_back(id);
+  return id;
+}
+
+FullRepNetwork::BootstrapReport FullRepNetwork::bootstrap_added(
+    sim::NodeId joiner, const sync::SyncConfig& cfg) {
+  BootstrapReport report;
+  report.joiner = joiner;
+  report.sync = sync::drive_join(*this, joiner, cfg, peers_.at(joiner));
+  report.complete = report.sync.complete;
+  report.bodies_fetched = report.sync.bodies_committed;
+  report.elapsed_us = report.sync.time_to_synced_us;
+  report.bytes_downloaded = net_->traffic(joiner).bytes_received;
   return report;
+}
+
+FullRepNetwork::BootstrapReport FullRepNetwork::bootstrap(sim::Coord coord,
+                                                          const sync::SyncConfig& cfg) {
+  return bootstrap_added(add_sync_joiner(coord), cfg);
+}
+
+FullRepNetwork::BootstrapReport FullRepNetwork::bootstrap(sim::Coord coord) {
+  return bootstrap(coord, sync::SyncConfig{});
 }
 
 void FullRepNetwork::start_faults(const sim::FaultPlan& plan) {
@@ -243,8 +321,9 @@ void FullRepNetwork::start_faults(const sim::FaultPlan& plan) {
   std::vector<sim::NodeId> all;
   all.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) all.push_back(static_cast<sim::NodeId>(i));
-  faults_->start(all, [this](sim::NodeId, bool online) {
+  faults_->start(all, [this](sim::NodeId id, bool online) {
     metrics_.counter(online ? "churn.up" : "churn.down").inc();
+    if (status_observer_) status_observer_(id, online);
   });
 }
 

@@ -21,6 +21,7 @@
 #include "storage/block_store.h"
 #include "storage/fleet_tally.h"
 #include "storage/header_index.h"
+#include "sync/session.h"
 
 namespace ici::baseline {
 
@@ -79,7 +80,7 @@ struct SyncResponseMsg final : FullRepMessage {
 
 class FullRepNetwork;
 
-class FullRepNode final : public sim::INode {
+class FullRepNode final : public sim::INode, private sync::BulkPullSession::Env {
  public:
   FullRepNode(FullRepNetwork& ctx, sim::NodeId id);
 
@@ -94,12 +95,46 @@ class FullRepNode final : public sim::INode {
 
   void seed_genesis(std::shared_ptr<const Block> genesis);
 
-  /// Bootstrap entry: full-chain download from `peer`.
+  /// Bootstrap entry: full-chain download from `peer` (legacy one-shot).
   void start_sync(sim::NodeId peer, std::function<void(std::size_t)> on_done);
+
+  /// Streaming bulk-sync join (docs/BOOTSTRAP.md): frontier exchange with
+  /// `candidates`, then windowed multi-peer bulk pull of headers+bodies.
+  /// `checkpoint` is held by the driver so it survives a mid-sync crash.
+  void start_streaming_sync(const sync::SyncConfig& cfg,
+                            sync::SyncCheckpoint* checkpoint,
+                            std::vector<sim::NodeId> candidates,
+                            std::function<void(const sync::SyncReport&)> on_done);
+  /// Crash semantics: drops the in-memory session (timers become inert).
+  void abandon_sync() { sync_session_.reset(); }
 
  private:
   void accept_block(std::shared_ptr<const Block> block, sim::NodeId from);
   void announce(const Hash256& hash, sim::NodeId except);
+
+  // -- streaming sync (sync::BulkPullSession::Env + serving) -------------
+  void handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg);
+  [[nodiscard]] sim::NodeId sync_self() const override { return id_; }
+  [[nodiscard]] sim::Simulator& sync_simulator() override;
+  void sync_send(sim::NodeId to, sim::MessagePtr msg) override;
+  [[nodiscard]] std::size_t sync_message_overhead() const override;
+  [[nodiscard]] bool sync_linked_headers() const override { return true; }
+  [[nodiscard]] sync::PullMode sync_range_mode() const override {
+    return sync::PullMode::kHeadersAndBodies;
+  }
+  [[nodiscard]] bool sync_coded() const override { return false; }
+  void sync_commit_header(const BlockHeader& header, const Hash256& hash) override;
+  [[nodiscard]] bool sync_wants_body(const Hash256&, std::uint64_t) override {
+    return true;  // full replication wants every body
+  }
+  void sync_commit_body(const std::shared_ptr<const Block>& block) override;
+  [[nodiscard]] std::vector<sim::NodeId> sync_body_candidates(
+      const Hash256& hash, std::uint64_t height) override;
+  void sync_fetch_assigned_shard(
+      const Hash256&, std::uint64_t,
+      std::function<void(std::shared_ptr<const Block>)> done) override {
+    if (done) done(nullptr);  // full replication never codes
+  }
 
   FullRepNetwork& ctx_;
   sim::NodeId id_;
@@ -108,6 +143,8 @@ class FullRepNode final : public sim::INode {
   Validator validator_;
   std::unordered_set<Hash256, Hash256Hasher> requested_;
   std::function<void(std::size_t)> sync_done_;
+  std::shared_ptr<sync::BulkPullSession> sync_session_;
+  std::uint64_t sync_epoch_ = 0;
 };
 
 class FullRepNetwork {
@@ -127,15 +164,32 @@ class FullRepNetwork {
   /// Statically installs a chain on every node (storage experiments).
   void preload_chain(const Chain& chain);
 
-  /// Adds a fresh node, syncs the full chain from its nearest peer, and
-  /// reports bytes downloaded + elapsed time.
+  /// Adds a fresh node, streams the full chain from its nearest peers via
+  /// the bulk-sync protocol, and reports bytes downloaded + elapsed time.
   struct BootstrapReport {
     std::uint64_t bytes_downloaded = 0;
     sim::SimTime elapsed_us = 0;
     std::size_t bodies_fetched = 0;
     bool complete = false;
+    sim::NodeId joiner = 0;
+    /// Protocol-level detail (per-peer attribution, retries, resume count).
+    sync::SyncReport sync;
   };
   [[nodiscard]] BootstrapReport bootstrap(sim::Coord coord);
+  [[nodiscard]] BootstrapReport bootstrap(sim::Coord coord, const sync::SyncConfig& cfg);
+
+  /// Split entry points for fault experiments: add the node first (so a
+  /// FaultPlan can script crash windows on its id), start faults, then run.
+  [[nodiscard]] sim::NodeId add_sync_joiner(sim::Coord coord);
+  [[nodiscard]] BootstrapReport bootstrap_added(sim::NodeId joiner,
+                                                const sync::SyncConfig& cfg);
+
+  /// Observer for online/offline flips from fault injection (see
+  /// IciNetwork::set_status_observer). Pass nullptr to uninstall.
+  using StatusObserver = std::function<void(sim::NodeId, bool online)>;
+  void set_status_observer(StatusObserver observer) {
+    status_observer_ = std::move(observer);
+  }
 
   /// Installs a fault injector (crashes/drops/partitions) over the gossip
   /// network. Full replication has no repair protocol — offline nodes just
@@ -185,6 +239,7 @@ class FullRepNetwork {
   std::unordered_map<Hash256, Spread, Hash256Hasher> spreads_;
   std::uint64_t proposer_cursor_ = 0;
   bool genesis_done_ = false;
+  StatusObserver status_observer_;
 };
 
 }  // namespace ici::baseline

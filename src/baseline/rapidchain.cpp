@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "metrics/sim_metrics.h"
 #include "obs/trace.h"
+#include "sync/driver.h"
+#include "sync/serve.h"
 
 namespace ici::baseline {
 
@@ -17,6 +19,10 @@ RapidChainNode::RapidChainNode(RapidChainNetwork& ctx, sim::NodeId id, std::size
 }
 
 void RapidChainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (const auto* s = dynamic_cast<const sync::SyncMessage*>(msg.get())) {
+    handle_sync_message(from, *s);
+    return;
+  }
   if (const auto* chunk = dynamic_cast<const ChunkMsg*>(msg.get())) {
     receive_chunk(*chunk, from);
     return;
@@ -107,6 +113,73 @@ void RapidChainNode::start_shard_sync(sim::NodeId peer,
                                       std::function<void(std::size_t)> on_done) {
   sync_done_ = std::move(on_done);
   ctx_.network().send(id_, peer, std::make_shared<ShardRequestMsg>());
+}
+
+// -- streaming bulk-sync (docs/BOOTSTRAP.md) --------------------------------
+
+void RapidChainNode::start_streaming_sync(
+    const sync::SyncConfig& cfg, sync::SyncCheckpoint* checkpoint,
+    std::vector<sim::NodeId> candidates,
+    std::function<void(const sync::SyncReport&)> on_done) {
+  const std::uint64_t session_id =
+      (static_cast<std::uint64_t>(id_) << 20) + (++sync_epoch_);
+  sync_session_ = sync::BulkPullSession::start(*this, cfg, checkpoint,
+                                               std::move(candidates), session_id,
+                                               std::move(on_done));
+}
+
+void RapidChainNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg) {
+  switch (msg.sync_kind()) {
+    case sync::SyncMsgKind::kFrontierRequest: {
+      const auto& req = static_cast<const sync::FrontierRequestMsg&>(msg);
+      ctx_.network().send(
+          id_, from,
+          sync::serve_frontier(store_, req, store_.block_count(), /*serves_shards=*/false));
+      break;
+    }
+    case sync::SyncMsgKind::kRangeRequest: {
+      const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
+      ctx_.network().send(id_, from, sync::serve_range(store_, req));
+      break;
+    }
+    case sync::SyncMsgKind::kFrontierResponse:
+    case sync::SyncMsgKind::kRangeResponse:
+      if (sync_session_) sync_session_->on_sync_message(from, msg);
+      break;
+  }
+}
+
+sim::Simulator& RapidChainNode::sync_simulator() { return ctx_.simulator(); }
+
+void RapidChainNode::sync_send(sim::NodeId to, sim::MessagePtr msg) {
+  ctx_.network().send(id_, to, std::move(msg));
+}
+
+std::size_t RapidChainNode::sync_message_overhead() const {
+  return ctx_.network().config().per_message_overhead;
+}
+
+void RapidChainNode::sync_commit_header(const BlockHeader& header, const Hash256& hash) {
+  store_.put_header(header, hash);
+}
+
+bool RapidChainNode::sync_wants_body(const Hash256& hash, std::uint64_t /*height*/) {
+  // A member stores a body iff the block hashes to its committee. Committee
+  // peers only serve their own shard, so in practice every served header
+  // passes; the check guards against cross-shard leakage.
+  return ctx_.committee_of_block(hash) == committee_;
+}
+
+void RapidChainNode::sync_commit_body(const std::shared_ptr<const Block>& block) {
+  store_.put_block(block);
+}
+
+std::vector<sim::NodeId> RapidChainNode::sync_body_candidates(const Hash256& hash,
+                                                              std::uint64_t /*height*/) {
+  std::vector<sim::NodeId> out;
+  for (sim::NodeId member : ctx_.committee_members(ctx_.committee_of_block(hash)))
+    if (member != id_) out.push_back(member);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -215,7 +288,7 @@ void RapidChainNetwork::preload_chain(const Chain& chain) {
   }
 }
 
-RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord) {
+sim::NodeId RapidChainNetwork::add_sync_joiner(sim::Coord coord) {
   const auto new_id = static_cast<sim::NodeId>(nodes_.size());
   ByteWriter w(8);
   w.u64(new_id);
@@ -228,33 +301,49 @@ RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord
   const sim::NodeId id = net_->add_node(&node, coord);
   coords_.push_back(coord);
   committees_[c].push_back(id);
+  return id;
+}
 
-  // Nearest committee member serves the shard.
-  sim::NodeId best = committees_[c].front();
-  double best_d = std::numeric_limits<double>::max();
-  for (sim::NodeId member : committees_[c]) {
-    if (member == id) continue;
-    const double d = sim::distance(coord, coords_[member]);
-    if (d < best_d) {
-      best_d = d;
-      best = member;
-    }
-  }
+RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap_added(
+    sim::NodeId joiner, const sync::SyncConfig& cfg) {
+  const std::size_t c = nodes_[joiner].committee();
+
+  // Pull candidates: committee members by distance (the old path hung the
+  // whole shard download off the single nearest member).
+  const sim::Coord coord = coords_[joiner];
+  std::vector<sim::NodeId> candidates;
+  for (sim::NodeId member : committees_[c])
+    if (member != joiner) candidates.push_back(member);
+  std::sort(candidates.begin(), candidates.end(), [&](sim::NodeId a, sim::NodeId b) {
+    const double da = sim::distance(coord, coords_[a]);
+    const double db = sim::distance(coord, coords_[b]);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  const std::size_t probe = std::max<std::size_t>(cfg.max_peers * 2, 4);
+  if (candidates.size() > probe) candidates.resize(probe);
 
   BootstrapReport report;
+  report.joiner = joiner;
   report.committee = c;
-  const sim::SimTime started = sim_.now();
-  nodes_[id].start_shard_sync(best, [&report](std::size_t bodies) {
-    report.complete = true;
-    report.bodies_fetched = bodies;
-  });
-  sim_.run();
-  metrics::sync_sim_counters(metrics_, sim_);
-  report.elapsed_us = sim_.now() - started;
-  obs::TraceSink::global().record_sim("bootstrap/shard_sync",
-                                      static_cast<double>(report.elapsed_us));
-  report.bytes_downloaded = net_->traffic(id).bytes_received;
+  report.sync = sync::drive_join(*this, joiner, cfg, candidates);
+  report.complete = report.sync.complete;
+  report.bodies_fetched = report.sync.bodies_committed;
+  report.elapsed_us = report.sync.time_to_synced_us;
+  report.bytes_downloaded = net_->traffic(joiner).bytes_received;
+  if (report.complete)
+    obs::TraceSink::global().record_sim("bootstrap/shard_sync",
+                                        static_cast<double>(report.elapsed_us));
   return report;
+}
+
+RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(
+    sim::Coord coord, const sync::SyncConfig& cfg) {
+  return bootstrap_added(add_sync_joiner(coord), cfg);
+}
+
+RapidChainNetwork::BootstrapReport RapidChainNetwork::bootstrap(sim::Coord coord) {
+  return bootstrap(coord, sync::SyncConfig{});
 }
 
 void RapidChainNetwork::start_faults(const sim::FaultPlan& plan) {
@@ -263,8 +352,9 @@ void RapidChainNetwork::start_faults(const sim::FaultPlan& plan) {
   std::vector<sim::NodeId> all;
   all.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) all.push_back(static_cast<sim::NodeId>(i));
-  faults_->start(all, [this](sim::NodeId, bool online) {
+  faults_->start(all, [this](sim::NodeId id, bool online) {
     metrics_.counter(online ? "churn.up" : "churn.down").inc();
+    if (status_observer_) status_observer_(id, online);
   });
 }
 

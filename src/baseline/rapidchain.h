@@ -30,6 +30,7 @@
 #include "storage/block_store.h"
 #include "storage/fleet_tally.h"
 #include "storage/header_index.h"
+#include "sync/session.h"
 
 namespace ici::baseline {
 
@@ -79,7 +80,7 @@ struct ShardResponseMsg final : sim::MessageBase {
 
 class RapidChainNetwork;
 
-class RapidChainNode final : public sim::INode {
+class RapidChainNode final : public sim::INode, private sync::BulkPullSession::Env {
  public:
   RapidChainNode(RapidChainNetwork& ctx, sim::NodeId id, std::size_t committee);
 
@@ -90,12 +91,44 @@ class RapidChainNode final : public sim::INode {
 
   void start_shard_sync(sim::NodeId peer, std::function<void(std::size_t)> on_done);
 
+  /// Streaming bulk-sync join (docs/BOOTSTRAP.md): pull the committee shard
+  /// from multiple members in parallel. Heights are sparse (the committee
+  /// holds only its own blocks) so ranges use the gapped flavour.
+  void start_streaming_sync(const sync::SyncConfig& cfg,
+                            sync::SyncCheckpoint* checkpoint,
+                            std::vector<sim::NodeId> candidates,
+                            std::function<void(const sync::SyncReport&)> on_done);
+  /// Crash semantics: drops the in-memory session (timers become inert).
+  void abandon_sync() { sync_session_.reset(); }
+
   [[nodiscard]] BlockStore& store() { return store_; }
   [[nodiscard]] const BlockStore& store() const { return store_; }
   [[nodiscard]] std::size_t committee() const { return committee_; }
 
  private:
   void receive_chunk(const ChunkMsg& msg, sim::NodeId from);
+
+  // -- streaming sync (sync::BulkPullSession::Env + serving) -------------
+  void handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg);
+  [[nodiscard]] sim::NodeId sync_self() const override { return id_; }
+  [[nodiscard]] sim::Simulator& sync_simulator() override;
+  void sync_send(sim::NodeId to, sim::MessagePtr msg) override;
+  [[nodiscard]] std::size_t sync_message_overhead() const override;
+  [[nodiscard]] bool sync_linked_headers() const override { return false; }
+  [[nodiscard]] sync::PullMode sync_range_mode() const override {
+    return sync::PullMode::kHeadersAndBodies;
+  }
+  [[nodiscard]] bool sync_coded() const override { return false; }
+  void sync_commit_header(const BlockHeader& header, const Hash256& hash) override;
+  [[nodiscard]] bool sync_wants_body(const Hash256& hash, std::uint64_t height) override;
+  void sync_commit_body(const std::shared_ptr<const Block>& block) override;
+  [[nodiscard]] std::vector<sim::NodeId> sync_body_candidates(
+      const Hash256& hash, std::uint64_t height) override;
+  void sync_fetch_assigned_shard(
+      const Hash256&, std::uint64_t,
+      std::function<void(std::shared_ptr<const Block>)> done) override {
+    if (done) done(nullptr);  // committee replication is uncoded
+  }
 
   RapidChainNetwork& ctx_;
   sim::NodeId id_;
@@ -109,6 +142,8 @@ class RapidChainNode final : public sim::INode {
   std::unordered_map<Hash256, Reassembly, Hash256Hasher> reassembly_;
   BlockStore store_;
   std::function<void(std::size_t)> sync_done_;
+  std::shared_ptr<sync::BulkPullSession> sync_session_;
+  std::uint64_t sync_epoch_ = 0;
 };
 
 class RapidChainNetwork {
@@ -135,9 +170,27 @@ class RapidChainNetwork {
     std::size_t bodies_fetched = 0;
     std::size_t committee = 0;
     bool complete = false;
+    sim::NodeId joiner = 0;
+    /// Protocol-level detail (per-peer attribution, retries, resume count).
+    sync::SyncReport sync;
   };
-  /// New node joins the committee its id hashes to and downloads the shard.
+  /// New node joins the committee its id hashes to and bulk-pulls the shard
+  /// from multiple committee members via the streaming sync protocol.
   [[nodiscard]] BootstrapReport bootstrap(sim::Coord coord);
+  [[nodiscard]] BootstrapReport bootstrap(sim::Coord coord, const sync::SyncConfig& cfg);
+
+  /// Split entry points for fault experiments: add the node first (so a
+  /// FaultPlan can script crash windows on its id), start faults, then run.
+  [[nodiscard]] sim::NodeId add_sync_joiner(sim::Coord coord);
+  [[nodiscard]] BootstrapReport bootstrap_added(sim::NodeId joiner,
+                                                const sync::SyncConfig& cfg);
+
+  /// Observer for online/offline flips from fault injection (see
+  /// IciNetwork::set_status_observer). Pass nullptr to uninstall.
+  using StatusObserver = std::function<void(sim::NodeId, bool online)>;
+  void set_status_observer(StatusObserver observer) {
+    status_observer_ = std::move(observer);
+  }
 
   /// Installs a fault injector over the committee network. RapidChain's
   /// intra-committee replication masks crashes until a whole committee is
@@ -194,6 +247,7 @@ class RapidChainNetwork {
   std::unordered_map<Hash256, Spread, Hash256Hasher> spreads_;
   std::uint64_t leader_cursor_ = 0;
   bool genesis_done_ = false;
+  StatusObserver status_observer_;
 };
 
 }  // namespace ici::baseline

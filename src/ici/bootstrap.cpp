@@ -1,13 +1,13 @@
 #include "ici/bootstrap.h"
 
+#include <algorithm>
 #include <limits>
-#include <stdexcept>
 
-#include "obs/trace.h"
+#include "sync/driver.h"
 
 namespace ici::core {
 
-BootstrapReport Bootstrapper::join(IciNetwork& net, sim::Coord coord) {
+cluster::NodeId Bootstrapper::add_joiner_nearest(IciNetwork& net, sim::Coord coord) {
   // Pick the cluster whose members are nearest on average — the same
   // latency-aware choice the clustering made for the original population.
   auto& dir = net.directory();
@@ -27,35 +27,54 @@ BootstrapReport Bootstrapper::join(IciNetwork& net, sim::Coord coord) {
       best_cluster = c;
     }
   }
+  return net.add_joiner(coord, best_cluster);
+}
 
-  const cluster::NodeId joiner = net.add_joiner(coord, best_cluster);
+BootstrapReport Bootstrapper::run(IciNetwork& net, cluster::NodeId joiner,
+                                  const sync::SyncConfig& cfg) {
+  auto& dir = net.directory();
+  const std::size_t cluster = dir.cluster_of(joiner);
+  const sim::Coord coord = dir.info(joiner).coord;
 
-  const std::uint64_t tip_height =
-      net.committed().empty() ? 0 : net.committed().back().height;
-  const auto head = dir.head(best_cluster, tip_height);
-  if (!head) throw std::runtime_error("Bootstrapper: cluster has no online head");
+  // Frontier candidates: cluster peers by distance, probing a couple past
+  // the pull-peer budget so offline/slow peers don't starve the frontier.
+  std::vector<cluster::NodeId> candidates;
+  for (cluster::NodeId id : dir.members(cluster))
+    if (id != joiner) candidates.push_back(id);
+  std::sort(candidates.begin(), candidates.end(),
+            [&](cluster::NodeId a, cluster::NodeId b) {
+              const double da = sim::distance(coord, dir.info(a).coord);
+              const double db = sim::distance(coord, dir.info(b).coord);
+              if (da != db) return da < db;
+              return a < b;
+            });
+  const std::size_t probe = std::max<std::size_t>(cfg.max_peers * 2, 4);
+  if (candidates.size() > probe) candidates.resize(probe);
 
   BootstrapReport report;
   report.joiner = joiner;
-  report.cluster = best_cluster;
+  report.cluster = cluster;
+  report.sync = sync::drive_join(net, joiner, cfg, candidates);
+  report.complete = report.sync.complete;
+  report.bodies_fetched = report.sync.bodies_committed;
+  report.elapsed_us = report.sync.time_to_synced_us;
 
-  const sim::SimTime started = net.simulator().now();
-  net.node(joiner).start_bootstrap(*head, [&report, &net, started](std::size_t bodies) {
-    report.complete = true;
-    report.bodies_fetched = bodies;
-    // Stamp completion here: settle() keeps running harmless timeout
-    // no-op events long after the join finished.
-    report.elapsed_us = net.simulator().now() - started;
-  });
-  net.settle();
-  if (report.complete) {
-    obs::TraceSink::global().record_sim("bootstrap/join",
-                                        static_cast<double>(report.elapsed_us));
-  }
+  // Wire-level totals come from the network's per-node tallies so coded
+  // reconstruction traffic (shard requests outside the session) counts too.
   const sim::NodeTraffic& traffic = net.network().traffic(joiner);
   report.bytes_downloaded = traffic.bytes_received;
   report.bytes_uploaded = traffic.bytes_sent;
   return report;
+}
+
+BootstrapReport Bootstrapper::join(IciNetwork& net, sim::Coord coord,
+                                   const sync::SyncConfig& cfg) {
+  const cluster::NodeId joiner = add_joiner_nearest(net, coord);
+  return run(net, joiner, cfg);
+}
+
+BootstrapReport Bootstrapper::join(IciNetwork& net, sim::Coord coord) {
+  return join(net, coord, sync::SyncConfig{});
 }
 
 }  // namespace ici::core

@@ -1,10 +1,17 @@
-// Bootstrap driver: runs the new-node join protocol end-to-end inside the
-// simulation and reports byte-accurate download cost and elapsed time —
-// the quantities experiment E05 compares against full-replication and
-// RapidChain bootstrapping.
+// Bootstrap driver: runs the streaming bulk-sync join protocol end-to-end
+// inside the simulation and reports byte-accurate download cost and elapsed
+// time — the quantities experiment E05/E22 compare against full-replication
+// and RapidChain bootstrapping.
+//
+// The driver — not the joining node — owns the SyncCheckpoint, so a
+// FaultPlan crash window that kills the joiner mid-sync destroys only the
+// in-memory BulkPullSession; when the injector restarts the node, the
+// driver's status observer opens a new session over the same checkpoint and
+// the join resumes from the last verified range (docs/BOOTSTRAP.md).
 #pragma once
 
 #include "ici/network.h"
+#include "sync/checkpoint.h"
 
 namespace ici::core {
 
@@ -16,6 +23,8 @@ struct BootstrapReport {
   sim::SimTime elapsed_us = 0;
   std::size_t bodies_fetched = 0;
   bool complete = false;
+  /// Protocol-level detail (per-peer attribution, retries, resume count).
+  sync::SyncReport sync;
 };
 
 class Bootstrapper {
@@ -24,6 +33,15 @@ class Bootstrapper {
   /// members, runs the join protocol to completion, and reports the cost.
   /// The simulation must be quiescent when called.
   [[nodiscard]] static BootstrapReport join(IciNetwork& net, sim::Coord coord);
+  [[nodiscard]] static BootstrapReport join(IciNetwork& net, sim::Coord coord,
+                                            const sync::SyncConfig& cfg);
+
+  /// Split entry points for fault experiments: add the node first (so a
+  /// FaultPlan can script crash windows on its id), start faults, then run.
+  [[nodiscard]] static cluster::NodeId add_joiner_nearest(IciNetwork& net,
+                                                         sim::Coord coord);
+  [[nodiscard]] static BootstrapReport run(IciNetwork& net, cluster::NodeId joiner,
+                                           const sync::SyncConfig& cfg);
 };
 
 }  // namespace ici::core

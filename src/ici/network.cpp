@@ -304,6 +304,9 @@ void IciNetwork::handle_churn_event(NodeId id, bool online) {
   directory_->set_online(id, online);
   metrics_.counter(online ? "churn.up" : "churn.down").inc();
   repair_cluster(directory_->cluster_of(id));
+  // Observers (e.g. a sync driver resuming a crashed joiner) run last, after
+  // the directory and repair reflect the flip.
+  if (status_observer_) status_observer_(id, online);
 }
 
 void IciNetwork::repair_cluster(std::size_t cluster) {

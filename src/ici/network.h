@@ -183,6 +183,15 @@ class IciNetwork {
     nodes_.at(id).set_fault(profile);
   }
 
+  /// Observer for online/offline flips from churn or fault injection, fired
+  /// after the directory updated and repair ran. Sync drivers use it to
+  /// abandon a crashed joiner's session and resume it on restart. Pass
+  /// nullptr to uninstall.
+  using StatusObserver = std::function<void(cluster::NodeId, bool online)>;
+  void set_status_observer(StatusObserver observer) {
+    status_observer_ = std::move(observer);
+  }
+
   // -- epoch reconfiguration ------------------------------------------------
   struct ReconfigReport {
     /// Nodes whose cluster assignment changed.
@@ -236,6 +245,7 @@ class IciNetwork {
   std::uint64_t proposer_cursor_ = 0;
   bool genesis_done_ = false;
   std::uint64_t trace_clock_token_ = 0;
+  StatusObserver status_observer_;
 };
 
 }  // namespace ici::core

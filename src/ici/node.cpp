@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "ici/network.h"
 #include "obs/trace.h"
+#include "sync/serve.h"
 
 namespace ici::core {
 
@@ -79,6 +80,10 @@ void IciNode::index_tx(const Hash256& txid, const Hash256& block_hash, std::uint
 }
 
 void IciNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (const auto* s = dynamic_cast<const sync::SyncMessage*>(msg.get())) {
+    handle_sync_message(from, *s);
+    return;
+  }
   const auto* m = dynamic_cast<const IciMessage*>(msg.get());
   if (m == nullptr) return;  // foreign message type; not ours
   switch (m->kind()) {
@@ -1365,6 +1370,105 @@ void IciNode::handle_inventory_request(sim::NodeId from, const InventoryRequestM
     if (store_.has_block(h)) resp->held.push_back(h);
   }
   ctx_.network().send(id_, from, std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming bulk-sync bootstrap (docs/BOOTSTRAP.md)
+// ---------------------------------------------------------------------------
+
+void IciNode::start_streaming_sync(const sync::SyncConfig& cfg,
+                                   sync::SyncCheckpoint* checkpoint,
+                                   std::vector<sim::NodeId> candidates,
+                                   std::function<void(const sync::SyncReport&)> on_done) {
+  const std::uint64_t session_id =
+      (static_cast<std::uint64_t>(id_) << 20) + (++sync_epoch_);
+  sync_session_ = sync::BulkPullSession::start(*this, cfg, checkpoint,
+                                               std::move(candidates), session_id,
+                                               std::move(on_done));
+}
+
+void IciNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg) {
+  switch (msg.sync_kind()) {
+    case sync::SyncMsgKind::kFrontierRequest: {
+      const auto& req = static_cast<const sync::FrontierRequestMsg&>(msg);
+      const std::uint64_t inventory =
+          ctx_.coded() ? shard_store_.shard_count() : store_.block_count();
+      ctx_.network().send(id_, from,
+                          sync::serve_frontier(store_, req, inventory, ctx_.coded()));
+      break;
+    }
+    case sync::SyncMsgKind::kRangeRequest: {
+      const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
+      ctx_.network().send(id_, from, sync::serve_range(store_, req));
+      break;
+    }
+    case sync::SyncMsgKind::kFrontierResponse:
+    case sync::SyncMsgKind::kRangeResponse:
+      if (sync_session_) sync_session_->on_sync_message(from, msg);
+      break;
+  }
+}
+
+sim::Simulator& IciNode::sync_simulator() { return ctx_.simulator(); }
+
+void IciNode::sync_send(sim::NodeId to, sim::MessagePtr msg) {
+  ctx_.network().send(id_, to, std::move(msg));
+}
+
+std::size_t IciNode::sync_message_overhead() const {
+  return ctx_.network().config().per_message_overhead;
+}
+
+bool IciNode::sync_coded() const { return ctx_.coded(); }
+
+void IciNode::sync_commit_header(const BlockHeader& header, const Hash256& hash) {
+  store_.put_header(header, hash);
+}
+
+bool IciNode::sync_wants_body(const Hash256& hash, std::uint64_t height) {
+  const std::size_t my_cluster = ctx_.directory().cluster_of(id_);
+  if (ctx_.coded()) {
+    const std::vector<NodeId> holders = ctx_.shard_holders(hash, height, my_cluster);
+    return std::find(holders.begin(), holders.end(), id_) != holders.end();
+  }
+  // Assignment over the full membership (which now includes this node) —
+  // the joiner pulls exactly the bodies the rendezvous gives it.
+  const std::vector<NodeId> storers =
+      ctx_.storers_of(hash, height, my_cluster, /*online_only=*/false);
+  return std::find(storers.begin(), storers.end(), id_) != storers.end();
+}
+
+void IciNode::sync_commit_body(const std::shared_ptr<const Block>& block) {
+  store_.put_block(block);
+}
+
+std::vector<sim::NodeId> IciNode::sync_body_candidates(const Hash256& hash,
+                                                       std::uint64_t height) {
+  const std::size_t my_cluster = ctx_.directory().cluster_of(id_);
+  const std::vector<NodeId> ranked =
+      ctx_.fetch_candidates(hash, height, my_cluster, id_);
+  return {ranked.begin(), ranked.end()};
+}
+
+void IciNode::sync_fetch_assigned_shard(
+    const Hash256& hash, std::uint64_t height,
+    std::function<void(std::shared_ptr<const Block>)> done) {
+  const std::size_t my_cluster = ctx_.directory().cluster_of(id_);
+  const std::vector<NodeId> holders = ctx_.shard_holders(hash, height, my_cluster);
+  std::optional<std::uint32_t> index;
+  for (std::uint32_t i = 0; i < holders.size(); ++i) {
+    if (holders[i] == id_) {
+      index = i;
+      break;
+    }
+  }
+  // Collect >=d shards from the cluster, reconstruct, keep our shard.
+  fetch_block_coded(
+      hash, height,
+      [done = std::move(done)](const FetchResult& r) {
+        if (done) done(r.block);
+      },
+      index);
 }
 
 }  // namespace ici::core

@@ -25,6 +25,7 @@
 #include "ici/messages.h"
 #include "storage/block_store.h"
 #include "storage/shard_store.h"
+#include "sync/session.h"
 
 namespace ici::core {
 
@@ -69,7 +70,7 @@ struct FaultProfile {
   [[nodiscard]] bool any() const { return vote_reject || drop_slices || corrupt_serves; }
 };
 
-class IciNode final : public sim::INode {
+class IciNode final : public sim::INode, private sync::BulkPullSession::Env {
  public:
   IciNode(IciNetwork& ctx, cluster::NodeId id);
 
@@ -94,6 +95,21 @@ class IciNode final : public sim::INode {
   /// only the bodies the intra-cluster assignment gives this node.
   /// `on_done(bodies_fetched)` fires when the last body landed.
   void start_bootstrap(sim::NodeId head, std::function<void(std::size_t)> on_done);
+
+  /// Streaming bulk-sync join (docs/BOOTSTRAP.md): frontier exchange with
+  /// `candidates`, then windowed multi-peer bulk pull. `checkpoint` is held
+  /// by the DRIVER (not this node) so it survives a mid-sync crash; a
+  /// restarted node resumes by calling this again over the same checkpoint.
+  void start_streaming_sync(const sync::SyncConfig& cfg,
+                            sync::SyncCheckpoint* checkpoint,
+                            std::vector<sim::NodeId> candidates,
+                            std::function<void(const sync::SyncReport&)> on_done);
+  /// Crash semantics: drops the in-memory session; every outstanding sync
+  /// timer becomes inert. The driver-held checkpoint is untouched.
+  void abandon_sync() { sync_session_.reset(); }
+  [[nodiscard]] bool sync_active() const {
+    return sync_session_ != nullptr && !sync_session_->finished();
+  }
 
   [[nodiscard]] cluster::NodeId id() const { return id_; }
   [[nodiscard]] BlockStore& store() { return store_; }
@@ -209,6 +225,26 @@ class IciNode final : public sim::INode {
   void handle_utxo_response(sim::NodeId from, const UtxoResponseMsg& msg);
   void handle_commit(sim::NodeId from, const CommitMsg& msg);
 
+  // -- streaming sync (sync::BulkPullSession::Env + serving) -------------
+  void handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg);
+  [[nodiscard]] sim::NodeId sync_self() const override { return id_; }
+  [[nodiscard]] sim::Simulator& sync_simulator() override;
+  void sync_send(sim::NodeId to, sim::MessagePtr msg) override;
+  [[nodiscard]] std::size_t sync_message_overhead() const override;
+  [[nodiscard]] bool sync_linked_headers() const override { return true; }
+  [[nodiscard]] sync::PullMode sync_range_mode() const override {
+    return sync::PullMode::kHeaders;
+  }
+  [[nodiscard]] bool sync_coded() const override;
+  void sync_commit_header(const BlockHeader& header, const Hash256& hash) override;
+  [[nodiscard]] bool sync_wants_body(const Hash256& hash, std::uint64_t height) override;
+  void sync_commit_body(const std::shared_ptr<const Block>& block) override;
+  [[nodiscard]] std::vector<sim::NodeId> sync_body_candidates(
+      const Hash256& hash, std::uint64_t height) override;
+  void sync_fetch_assigned_shard(
+      const Hash256& hash, std::uint64_t height,
+      std::function<void(std::shared_ptr<const Block>)> done) override;
+
   // -- server role ------------------------------------------------------
   void handle_block_request(sim::NodeId from, const BlockRequestMsg& msg);
   void handle_block_response(sim::NodeId from, const BlockResponseMsg& msg);
@@ -318,6 +354,8 @@ class IciNode final : public sim::INode {
   std::unordered_map<Hash256, TxLocation, Hash256Hasher> tx_index_;
   std::optional<BootstrapState> bootstrap_;
   ShardStore shard_store_;
+  std::shared_ptr<sync::BulkPullSession> sync_session_;
+  std::uint64_t sync_epoch_ = 0;  // distinguishes sessions across resumes
   std::uint64_t next_request_id_ = 1;
 };
 

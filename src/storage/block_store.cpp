@@ -21,6 +21,10 @@ void BlockStore::put_header(const BlockHeader& header, const Hash256& hash) {
   if (!have_slot(slot)) {
     mark_slot(slot);
     ++tally().header_count;
+    if (!has_tip_ || header.height > tip_height_) {
+      has_tip_ = true;
+      tip_height_ = header.height;
+    }
   }
 }
 

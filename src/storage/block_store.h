@@ -46,6 +46,12 @@ class BlockStore {
   [[nodiscard]] std::optional<BlockHeader> header_by_hash(const Hash256& hash) const;
   [[nodiscard]] std::optional<BlockHeader> header_at(std::uint64_t height) const;
   [[nodiscard]] std::size_t header_count() const { return tally().header_count; }
+  /// Highest header height this node holds — what it advertises in a
+  /// frontier exchange. nullopt for an empty store.
+  [[nodiscard]] std::optional<std::uint64_t> tip_height() const {
+    if (!has_tip_) return std::nullopt;
+    return tip_height_;
+  }
 
   /// Stores a full block body (idempotent; also records the header).
   void put_block(std::shared_ptr<const Block> block);
@@ -103,6 +109,8 @@ class BlockStore {
   FleetTally* fleet_ = nullptr;
   std::size_t fleet_slot_ = 0;
   NodeStorageTally own_;
+  bool has_tip_ = false;
+  std::uint64_t tip_height_ = 0;
 };
 
 }  // namespace ici

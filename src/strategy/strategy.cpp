@@ -6,6 +6,7 @@
 #include "baseline/fullrep.h"
 #include "baseline/pruned.h"
 #include "baseline/rapidchain.h"
+#include "ici/bootstrap.h"
 #include "ici/network.h"
 
 namespace ici::core {
@@ -61,6 +62,19 @@ class IciStrategy final : public Strategy {
   [[nodiscard]] double cluster_availability() const override { return net_->availability(); }
 
   [[nodiscard]] metrics::Registry* metrics_registry() override { return &net_->metrics(); }
+
+  [[nodiscard]] JoinReport bootstrap_join(sim::Coord coord,
+                                          const sync::SyncConfig& cfg) override {
+    const BootstrapReport r = Bootstrapper::join(*net_, coord, cfg);
+    JoinReport out;
+    out.protocol = true;
+    out.complete = r.complete;
+    out.bytes_downloaded = r.bytes_downloaded;
+    out.elapsed_us = r.elapsed_us;
+    out.bodies_fetched = r.bodies_fetched;
+    out.sync = r.sync;
+    return out;
+  }
 
   std::optional<RetrievalStats> probe_retrieval(std::size_t count,
                                                 std::uint64_t seed) override {
@@ -138,6 +152,19 @@ class FullRepStrategy final : public Strategy {
 
   [[nodiscard]] metrics::Registry* metrics_registry() override { return &net_->metrics(); }
 
+  [[nodiscard]] JoinReport bootstrap_join(sim::Coord coord,
+                                          const sync::SyncConfig& cfg) override {
+    const auto r = net_->bootstrap(coord, cfg);
+    JoinReport out;
+    out.protocol = true;
+    out.complete = r.complete;
+    out.bytes_downloaded = r.bytes_downloaded;
+    out.elapsed_us = r.elapsed_us;
+    out.bodies_fetched = r.bodies_fetched;
+    out.sync = r.sync;
+    return out;
+  }
+
  private:
   std::unique_ptr<baseline::FullRepNetwork> net_;
   std::vector<Hash256> committed_;
@@ -204,6 +231,19 @@ class RapidChainStrategy final : public Strategy {
 
   [[nodiscard]] metrics::Registry* metrics_registry() override { return &net_->metrics(); }
 
+  [[nodiscard]] JoinReport bootstrap_join(sim::Coord coord,
+                                          const sync::SyncConfig& cfg) override {
+    const auto r = net_->bootstrap(coord, cfg);
+    JoinReport out;
+    out.protocol = true;
+    out.complete = r.complete;
+    out.bytes_downloaded = r.bytes_downloaded;
+    out.elapsed_us = r.elapsed_us;
+    out.bodies_fetched = r.bodies_fetched;
+    out.sync = r.sync;
+    return out;
+  }
+
  private:
   std::unique_ptr<baseline::RapidChainNetwork> net_;
   std::vector<Hash256> committed_;
@@ -266,6 +306,19 @@ class PrunedStrategy final : public Strategy {
       if (net_->node().store().has_block(hash)) ++servable;
     }
     return static_cast<double>(servable) / static_cast<double>(committed_.size());
+  }
+
+  [[nodiscard]] JoinReport bootstrap_join(sim::Coord /*coord*/,
+                                          const sync::SyncConfig& /*cfg*/) override {
+    // No simulated network: a pruned joiner's download is the closed-form
+    // headers + UTXO snapshot + windowed bodies (instant by construction).
+    JoinReport out;
+    out.protocol = false;
+    out.complete = true;
+    out.bytes_downloaded = net_->bootstrap_bytes();
+    out.elapsed_us = 0;
+    out.bodies_fetched = net_->node().store().block_count();
+    return out;
   }
 
  private:

@@ -25,6 +25,7 @@
 #include "metrics/registry.h"
 #include "sim/faults.h"
 #include "storage/storage_meter.h"
+#include "sync/checkpoint.h"
 
 namespace ici::core {
 
@@ -56,6 +57,21 @@ struct StrategyConfig {
 struct StrategyTraffic {
   std::uint64_t bytes_sent = 0;
   std::uint64_t msgs_sent = 0;
+};
+
+/// Result of joining a fresh node through the strategy's bootstrap path.
+struct JoinReport {
+  /// True when the numbers come from the streaming bulk-sync protocol
+  /// (docs/BOOTSTRAP.md); false for closed-form accounting (pruned has no
+  /// simulated network, so its download cost is computed, not measured).
+  bool protocol = false;
+  bool complete = false;
+  std::uint64_t bytes_downloaded = 0;
+  sim::SimTime elapsed_us = 0;
+  std::size_t bodies_fetched = 0;
+  /// Protocol-level detail (per-peer attribution, retries, resume count).
+  /// Only meaningful when `protocol` is true.
+  sync::SyncReport sync;
 };
 
 class Strategy {
@@ -110,6 +126,13 @@ class Strategy {
 
   /// The strategy's metrics registry (repair/fault counters), if any.
   [[nodiscard]] virtual metrics::Registry* metrics_registry() { return nullptr; }
+
+  /// Joins a fresh node at `coord` through the strategy's bootstrap path —
+  /// the streaming bulk-sync protocol for the simulated strategies, a
+  /// closed-form byte count for pruned (JoinReport::protocol distinguishes
+  /// the two).
+  [[nodiscard]] virtual JoinReport bootstrap_join(sim::Coord coord,
+                                                  const sync::SyncConfig& cfg) = 0;
 
   /// Random historical fetches through the strategy's retrieval path.
   /// Strategies without a fetch protocol return nullopt.

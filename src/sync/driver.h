@@ -1,0 +1,87 @@
+// Join driver shared by the three protocol facades (ICI, full-replication,
+// RapidChain). Owns the crash-safe checkpoint, wires crash/resume through
+// the facade's status observer, and advances the simulation in bounded
+// windows (a faulted run never quiesces, so settle() is not an option).
+//
+// `Net` must provide: simulator(), metrics(), run_for(us),
+// set_status_observer(cb), node(id) — where the node type exposes
+// start_streaming_sync / abandon_sync (i.e. implements BulkPullSession::Env).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "metrics/registry.h"
+#include "obs/trace.h"
+#include "sync/checkpoint.h"
+
+namespace ici::sync {
+
+/// Upper bound on how long a driver keeps the simulation running for one
+/// join. Only reached when the joiner crashes and never restarts; a healthy
+/// sync exits the drive loop at its completion callback.
+inline constexpr sim::SimTime kDriveCapUs = 600'000'000;  // 10 min of sim time
+/// Drive-loop window. Small enough that the loop notices completion (and a
+/// capped run samples fault counters) promptly; exact timing comes from the
+/// completion callback, not the window edge.
+inline constexpr sim::SimTime kDriveStepUs = 250'000;
+
+/// Folds a finished join into the facade's registry (`sync.*` metrics) and
+/// emits the bootstrap spans.
+inline void record_join(metrics::Registry& m, const SyncReport& r) {
+  m.counter("sync.ranges_committed").inc(r.ranges_committed);
+  m.counter("sync.ranges_retried").inc(r.ranges_retried);
+  m.counter("sync.bodies_committed").inc(r.bodies_committed);
+  if (r.complete) {
+    m.counter("sync.joins_completed").inc();
+    obs::TraceSink::global().record_sim("bootstrap/join",
+                                        static_cast<double>(r.time_to_synced_us));
+    obs::TraceSink::global().record_sim(
+        "bootstrap/fetch", static_cast<double>(r.time_to_synced_us - r.frontier_us));
+  }
+  m.distribution("sync.time_to_synced_us").add(static_cast<double>(r.time_to_synced_us));
+  for (const PeerBytes& p : r.by_peer)
+    m.distribution("sync.bytes_per_peer").add(static_cast<double>(p.bytes));
+}
+
+template <typename Net>
+SyncReport drive_join(Net& net, sim::NodeId joiner, const SyncConfig& cfg,
+                      const std::vector<sim::NodeId>& candidates) {
+  SyncCheckpoint checkpoint;
+  SyncReport result;
+  bool done = false;
+  auto& node = net.node(joiner);
+
+  std::function<void(const SyncReport&)> on_done = [&](const SyncReport& r) {
+    done = true;
+    result = r;
+  };
+
+  // Crash/resume wiring: a FaultPlan crash on the joiner drops its session
+  // (outstanding timers become inert); the restart opens a fresh one over
+  // the same checkpoint. Peers flipping state are the session's own
+  // problem — per-range timeouts reassign their work.
+  net.set_status_observer([&](sim::NodeId id, bool online) {
+    if (id != joiner || done) return;
+    if (!online) {
+      node.abandon_sync();
+      return;
+    }
+    if (!checkpoint.complete) {
+      checkpoint.resume_count += 1;
+      net.metrics().counter("sync.resumes").inc();
+      node.start_streaming_sync(cfg, &checkpoint, candidates, on_done);
+    }
+  });
+
+  const sim::SimTime started = net.simulator().now();
+  node.start_streaming_sync(cfg, &checkpoint, candidates, on_done);
+  while (!done && net.simulator().now() - started < kDriveCapUs)
+    net.run_for(kDriveStepUs);
+  net.set_status_observer(nullptr);
+
+  record_join(net.metrics(), result);
+  return result;
+}
+
+}  // namespace ici::sync

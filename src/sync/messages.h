@@ -1,0 +1,115 @@
+// Wire messages of the streaming bulk-sync bootstrap protocol (see
+// docs/BOOTSTRAP.md). The protocol is flavour-agnostic: ICI clusters,
+// full-replication peer graphs, and RapidChain committees all speak it, so
+// the messages live outside any one protocol namespace and every message
+// reports a realistic serialized size the simulator charges byte-accurately.
+//
+// Flow (joiner's view):
+//   joiner --FrontierRequest--> each candidate peer
+//   peer   --FrontierResponse-- tip height + body/shard inventory summary
+//   joiner --RangeRequest-----> pull peers, windowed + pipelined
+//   peer   --RangeResponse----- headers (and bodies, mode-dependent)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chain/block.h"
+#include "sim/network.h"
+
+namespace ici::sync {
+
+enum class SyncMsgKind : std::uint8_t {
+  kFrontierRequest,
+  kFrontierResponse,
+  kRangeRequest,
+  kRangeResponse,
+};
+
+/// What a RangeRequest asks the peer to stream back.
+enum class PullMode : std::uint8_t {
+  /// Headers for every height in [from, from+count). The ICI flavour pulls
+  /// bodies separately (rendezvous assignment scatters them across peers).
+  kHeaders,
+  /// Headers plus every body the peer holds in the range — full-replication
+  /// and RapidChain peers hold everything the joiner wants.
+  kHeadersAndBodies,
+  /// Exactly the listed bodies (ICI body phase: the joiner already verified
+  /// the headers and asks the rendezvous holders for its assigned blocks).
+  kListedBodies,
+};
+
+struct SyncMessage : sim::MessageBase {
+  std::uint64_t session_id = 0;
+  [[nodiscard]] virtual SyncMsgKind sync_kind() const = 0;
+};
+
+/// "What is your tip, and how much of the ledger can you serve me?"
+struct FrontierRequestMsg final : SyncMessage {
+  /// The joiner's verified prefix — a resumed sync advertises its
+  /// checkpoint so peers could, in a real deployment, prune their answer.
+  std::uint64_t from_height = 0;
+
+  [[nodiscard]] SyncMsgKind sync_kind() const override {
+    return SyncMsgKind::kFrontierRequest;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 8 + 8; }
+  [[nodiscard]] const char* type_name() const override { return "FrontierRequest"; }
+};
+
+struct FrontierResponseMsg final : SyncMessage {
+  bool has_tip = false;
+  std::uint64_t tip_height = 0;
+  /// Bodies (replication) or shards (coded) this peer can serve — the
+  /// inventory summary the joiner uses to rank pull peers.
+  std::uint64_t inventory = 0;
+  /// True when the peer stores Reed-Solomon shards rather than bodies.
+  bool serves_shards = false;
+
+  [[nodiscard]] SyncMsgKind sync_kind() const override {
+    return SyncMsgKind::kFrontierResponse;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 8 + 1 + 8 + 8 + 1; }
+  [[nodiscard]] const char* type_name() const override { return "FrontierResponse"; }
+};
+
+/// One windowed pull: a height range (kHeaders / kHeadersAndBodies) or an
+/// explicit want-list (kListedBodies). `range_index` echoes back in the
+/// response so out-of-order landings find their reassembly slot.
+struct RangeRequestMsg final : SyncMessage {
+  std::uint32_t range_index = 0;
+  PullMode mode = PullMode::kHeaders;
+  std::uint64_t from_height = 0;
+  std::uint32_t count = 0;
+  std::vector<Hash256> want;  // kListedBodies only
+
+  [[nodiscard]] SyncMsgKind sync_kind() const override {
+    return SyncMsgKind::kRangeRequest;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + 4 + 1 + 8 + 4 + 4 + want.size() * 32;
+  }
+  [[nodiscard]] const char* type_name() const override { return "RangeRequest"; }
+};
+
+struct RangeResponseMsg final : SyncMessage {
+  std::uint32_t range_index = 0;
+  PullMode mode = PullMode::kHeaders;
+  std::uint64_t from_height = 0;
+  std::uint32_t count = 0;
+  std::vector<BlockHeader> headers;
+  std::vector<std::shared_ptr<const Block>> bodies;
+
+  [[nodiscard]] SyncMsgKind sync_kind() const override {
+    return SyncMsgKind::kRangeResponse;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t sz = 8 + 4 + 1 + 8 + 4 + 4 + 4;
+    sz += headers.size() * BlockHeader::kWireSize;
+    for (const auto& b : bodies) sz += 4 + b->serialized_size();
+    return sz;
+  }
+  [[nodiscard]] const char* type_name() const override { return "RangeResponse"; }
+};
+
+}  // namespace ici::sync

@@ -1,0 +1,47 @@
+#include "sync/serve.h"
+
+namespace ici::sync {
+
+sim::MessagePtr serve_frontier(const BlockStore& store,
+                               const FrontierRequestMsg& req,
+                               std::uint64_t inventory, bool serves_shards) {
+  auto resp = std::make_shared<FrontierResponseMsg>();
+  resp->session_id = req.session_id;
+  if (auto tip = store.tip_height()) {
+    resp->has_tip = true;
+    resp->tip_height = *tip;
+  }
+  resp->inventory = inventory;
+  resp->serves_shards = serves_shards;
+  return resp;
+}
+
+sim::MessagePtr serve_range(const BlockStore& store, const RangeRequestMsg& req) {
+  auto resp = std::make_shared<RangeResponseMsg>();
+  resp->session_id = req.session_id;
+  resp->range_index = req.range_index;
+  resp->mode = req.mode;
+  resp->from_height = req.from_height;
+  resp->count = req.count;
+
+  if (req.mode == PullMode::kListedBodies) {
+    resp->bodies.reserve(req.want.size());
+    for (const auto& hash : req.want)
+      if (auto block = store.block_ptr(hash)) resp->bodies.push_back(std::move(block));
+    return resp;
+  }
+
+  resp->headers.reserve(req.count);
+  for (std::uint64_t h = req.from_height; h < req.from_height + req.count; ++h) {
+    auto header = store.header_at(h);
+    if (!header) continue;
+    resp->headers.push_back(*header);
+    if (req.mode == PullMode::kHeadersAndBodies) {
+      if (auto block = store.block_ptr(header->hash()))
+        resp->bodies.push_back(std::move(block));
+    }
+  }
+  return resp;
+}
+
+}  // namespace ici::sync

@@ -1,0 +1,32 @@
+// Server side of the streaming bootstrap protocol — shared by every node
+// flavour. A serving peer answers from its BlockStore: frontier summaries
+// from the tip/occupancy, ranges from the height index, listed bodies from
+// the body map. Stateless: each request produces exactly one response (or
+// none if addressed wrong), so serving never perturbs the server's own
+// protocol machine.
+#pragma once
+
+#include <functional>
+
+#include "storage/block_store.h"
+#include "sync/messages.h"
+
+namespace ici::sync {
+
+/// Builds the frontier answer for `req`. `inventory` is the count of
+/// bodies (replication) or shards (coded) the peer can serve;
+/// `serves_shards` marks coded peers.
+[[nodiscard]] sim::MessagePtr serve_frontier(const BlockStore& store,
+                                             const FrontierRequestMsg& req,
+                                             std::uint64_t inventory,
+                                             bool serves_shards);
+
+/// Builds the range answer for `req`.
+///  - kHeaders / kHeadersAndBodies: headers for every height in
+///    [from, from+count) the store holds; in kHeadersAndBodies mode, every
+///    held body in the range rides along.
+///  - kListedBodies: exactly the wanted bodies the store holds.
+[[nodiscard]] sim::MessagePtr serve_range(const BlockStore& store,
+                                          const RangeRequestMsg& req);
+
+}  // namespace ici::sync

@@ -168,6 +168,82 @@ def check_file(path):
                 fail(path, f"rows[{i}].values['availability']: expected number "
                            f"in [0, 1] (got {avail!r})")
 
+    # exp05 (bootstrap cost) went protocol-based with the streaming bulk
+    # sync (docs/BOOTSTRAP.md): every row must be a measured, completed join
+    # carrying the protocol detail, or the "greatly saves bootstrapping"
+    # claim is back to closed-form arithmetic.
+    if doc["name"] == "exp05_bootstrap":
+        for i, row in enumerate(doc["rows"]):
+            values = row["values"]
+            if values.get("protocol") is not True:
+                fail(path, f"rows[{i}].values['protocol']: expected True "
+                           f"(got {values.get('protocol')!r})")
+            if values.get("complete") is not True:
+                fail(path, f"rows[{i}].values['complete']: expected True "
+                           f"(got {values.get('complete')!r})")
+            for key in ("bytes_downloaded", "peers_used", "ranges_committed"):
+                v = values.get(key)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                    fail(path, f"rows[{i}].values['{key}']: expected integer "
+                               f">= 1 (got {v!r})")
+
+    # exp22 (bulk-sync under fault plans): rows are one (height, plan) cell.
+    # Every join must complete; crash-plan rows must have resumed at least
+    # once AND landed in the same verified state as the clean run, or the
+    # checkpoint/resume guarantee has nothing backing it. Full runs must
+    # sweep >= 3 chain heights and >= 2 fault plans.
+    if doc["name"] == "exp22_sync":
+        nodes = doc["config"].get("nodes")
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+            fail(path, f"config.nodes: expected integer >= 1 (got {nodes!r})")
+        heights, plans = set(), set()
+        for i, row in enumerate(doc["rows"]):
+            values = row["values"]
+            plan = values.get("plan")
+            if not isinstance(plan, str) or not plan:
+                fail(path, f"rows[{i}].values['plan']: expected non-empty "
+                           f"string (got {plan!r})")
+            plans.add(plan)
+            heights.add(values.get("blocks"))
+            if values.get("complete") is not True:
+                fail(path, f"rows[{i}].values['complete']: expected True "
+                           f"(got {values.get('complete')!r})")
+            for key in ("time_to_synced_us", "bytes_downloaded", "peers_used",
+                        "ranges_committed"):
+                v = values.get(key)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                    fail(path, f"rows[{i}].values['{key}']: expected integer "
+                               f">= 1 (got {v!r})")
+            for key in ("ranges_retried", "resumes", "header_payload_bytes",
+                        "body_payload_bytes", "peer_bytes_max", "peer_bytes_min"):
+                v = values.get(key)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    fail(path, f"rows[{i}].values['{key}']: expected integer "
+                               f">= 0 (got {v!r})")
+            if plan == "crash":
+                if not isinstance(values.get("resumes"), int) or values["resumes"] < 1:
+                    fail(path, f"rows[{i}]: crash-plan row must have resumes >= 1 "
+                               f"(got {values.get('resumes')!r})")
+                if values.get("resumed_matches_clean") is not True:
+                    fail(path, f"rows[{i}]: crash-resumed state must match the "
+                               "clean run (resumed_matches_clean)")
+        if not doc["smoke"]:
+            if len(heights) < 3:
+                fail(path, f"full runs must sweep >= 3 chain heights "
+                           f"(got {sorted(heights)})")
+            if len(plans) < 2:
+                fail(path, f"full runs must sweep >= 2 fault plans "
+                           f"(got {sorted(plans)})")
+        for name in ("sync.joins_completed", "sync.ranges_committed",
+                     "sync.bodies_committed"):
+            v = doc["counters"].get(name)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                fail(path, f"counters['{name}']: expected integer >= 1 "
+                           f"(got {v!r})")
+        for name in ("sync.time_to_synced_us", "sync.bytes_per_peer"):
+            if name not in doc["distributions"]:
+                fail(path, f"distributions: missing '{name}'")
+
     for name, value in doc["counters"].items():
         if not isinstance(value, int) or isinstance(value, bool):
             fail(path, f"counters['{name}']: expected integer")

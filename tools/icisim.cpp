@@ -21,6 +21,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "ici/bootstrap.h"
 #include "ici/network.h"
 #include "metrics/memstats.h"
 #include "obs/bench_report.h"
@@ -39,6 +40,10 @@ int main(int argc, char** argv) {
   std::uint64_t minutes = 20;
   double churn_fraction = 0.3;
   bool churn = false;
+  bool sync_join = false;
+  std::uint64_t sync_range = 16;
+  std::uint64_t sync_window = 2;
+  std::uint64_t sync_peers = 4;
   std::string clustering = "kmeans";
   BenchOptions opts;
 
@@ -54,6 +59,11 @@ int main(int argc, char** argv) {
   flags.add_bool("churn", &churn, "run churn after dissemination");
   flags.add_double("churn-fraction", &churn_fraction, "fraction of nodes that churn");
   flags.add_uint("minutes", &minutes, "simulated minutes of churn/faults");
+  flags.add_bool("sync-join", &sync_join,
+                 "bootstrap one extra node via streaming bulk-sync at the end");
+  flags.add_uint("sync-range", &sync_range, "bulk-sync blocks per range request");
+  flags.add_uint("sync-window", &sync_window, "bulk-sync in-flight requests per peer");
+  flags.add_uint("sync-peers", &sync_peers, "bulk-sync parallel pull peers");
   add_bench_flags(flags, &opts);  // --smoke/--threads/--cpu/--seed/--fault-plan
 
   std::string error;
@@ -119,6 +129,11 @@ int main(int argc, char** argv) {
   if (churn) report.set_config("churn_fraction", churn_fraction);
   if (faults) report.set_config("fault_plan", fault_plan.describe());
   if (churn || faults) report.set_config("sim_minutes", minutes);
+  if (sync_join) {
+    report.set_config("sync_range", sync_range);
+    report.set_config("sync_window", sync_window);
+    report.set_config("sync_peers", sync_peers);
+  }
 
   Block genesis = generator.workload().make_genesis();
   generator.workload().confirm(genesis);
@@ -182,6 +197,41 @@ int main(int argc, char** argv) {
     results.row({"availability (min)", format_double(availability.min(), 4)});
   }
   results.print(std::cout);
+
+  // Optional join probe: bootstrap one fresh node through the streaming
+  // bulk-sync protocol (docs/BOOTSTRAP.md) against the network as-is —
+  // after churn/faults, so the join sees whatever the run left standing.
+  if (sync_join) {
+    sync::SyncConfig scfg;
+    scfg.range_blocks = static_cast<std::uint32_t>(sync_range);
+    scfg.per_peer_window = static_cast<std::uint32_t>(sync_window);
+    scfg.max_peers = static_cast<std::uint32_t>(sync_peers);
+    const auto join = core::Bootstrapper::join(*network, {50, 50}, scfg);
+
+    std::cout << "\nBulk-sync join:\n";
+    Table jt({"metric", "value"});
+    jt.row({"synced", join.complete ? "yes" : "NO"});
+    jt.row({"time to synced", format_double(
+                static_cast<double>(join.sync.time_to_synced_us) / 1000, 1) + " ms"});
+    jt.row({"bytes downloaded", format_bytes(static_cast<double>(join.bytes_downloaded))});
+    jt.row({"peers used", std::to_string(join.sync.peers_used)});
+    jt.row({"ranges", std::to_string(join.sync.ranges_committed) + " (+" +
+                          std::to_string(join.sync.ranges_retried) + " retried)"});
+    jt.row({"bodies fetched", std::to_string(join.bodies_fetched)});
+    jt.print(std::cout);
+
+    auto& jrow = report.add_row("sync_join");
+    jrow.set("complete", join.complete);
+    jrow.set("time_to_synced_us", join.sync.time_to_synced_us);
+    jrow.set("frontier_us", join.sync.frontier_us);
+    jrow.set("bytes_downloaded", join.bytes_downloaded);
+    jrow.set("header_payload_bytes", join.sync.header_payload_bytes);
+    jrow.set("body_payload_bytes", join.sync.body_payload_bytes);
+    jrow.set("peers_used", join.sync.peers_used);
+    jrow.set("ranges_committed", join.sync.ranges_committed);
+    jrow.set("ranges_retried", join.sync.ranges_retried);
+    jrow.set("resumes", join.sync.resume_count);
+  }
 
   std::cout << "\nProtocol counters:\n";
   for (const auto& [name, counter] : network->metrics().counters()) {
