@@ -20,6 +20,7 @@
 #include "ici/network.h"
 #include "metrics/memstats.h"
 #include "obs/bench_report.h"
+#include "sim/shard.h"
 #include "storage/storage_meter.h"
 
 namespace ici::bench {
@@ -35,10 +36,14 @@ inline void print_experiment_header(const std::string& id, const std::string& ti
 using ici::BenchOptions;
 
 inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view name) {
-  return parse_bench_options_or_exit(
+  BenchOptions opts = parse_bench_options_or_exit(
       argc, argv, std::string(name),
       "paper experiment; writes BENCH_" + std::string(name) +
           ".json (schema ici-bench-v1) into the current directory or $ICI_BENCH_DIR");
+  // --shards routes through sim/ (a layer common/flags.cpp cannot link):
+  // every facade built after this picks the lane count up as its default.
+  sim::set_default_shards(std::max<std::uint64_t>(1, opts.shards));
+  return opts;
 }
 
 /// Stamps the pool size and CPU dispatch tier every ici-bench-v1 artifact
@@ -47,6 +52,7 @@ inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view 
 inline void record_thread_config(obs::BenchReport& report) {
   report.set_config("threads", ThreadPool::global().thread_count());
   report.set_config("cpu_backend", std::string(cpu::backend_name()));
+  report.set_config("shards", sim::default_shards());
 }
 
 /// Stamps process memory counters: sim.rss_bytes / sim.peak_rss_bytes always

@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "metrics/sim_metrics.h"
 #include "obs/trace.h"
+#include "sim/lbts.h"
+#include "sim/shard.h"
 #include "sync/driver.h"
 #include "sync/serve.h"
 
@@ -137,14 +139,14 @@ void FullRepNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage&
   switch (msg.sync_kind()) {
     case sync::SyncMsgKind::kFrontierRequest: {
       const auto& req = static_cast<const sync::FrontierRequestMsg&>(msg);
-      ctx_.network().send(
-          id_, from,
+      send_sync_response(
+          from,
           sync::serve_frontier(store_, req, store_.block_count(), /*serves_shards=*/false));
       break;
     }
     case sync::SyncMsgKind::kRangeRequest: {
       const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
-      ctx_.network().send(id_, from, sync::serve_range(store_, req));
+      send_sync_response(from, sync::serve_range(store_, req));
       break;
     }
     case sync::SyncMsgKind::kFrontierResponse:
@@ -152,6 +154,22 @@ void FullRepNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage&
       if (sync_session_) sync_session_->on_sync_message(from, msg);
       break;
   }
+}
+
+void FullRepNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg) {
+  sync::ServeThrottle* throttle = ctx_.serve_throttle();
+  if (throttle != nullptr) {
+    const std::uint64_t delay =
+        throttle->delay_for(id_, to, msg->wire_size(), ctx_.simulator().now());
+    if (delay > 0) {
+      ctx_.metrics().counter("sync.serve_throttled").inc();
+      ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
+        ctx_.network().send(id_, to, msg);
+      });
+      return;
+    }
+  }
+  ctx_.network().send(id_, to, std::move(msg));
 }
 
 sim::Simulator& FullRepNode::sync_simulator() { return ctx_.simulator(); }
@@ -186,6 +204,18 @@ FullRepNetwork::FullRepNetwork(FullRepConfig cfg) : cfg_(cfg) {
   if (cfg_.node_count < 2) throw std::invalid_argument("FullRepNetwork: need >= 2 nodes");
   net_ = std::make_unique<sim::Network>(sim_, cfg_.net);
 
+  // Sharded event engine: no clusters here, so lanes are contiguous id
+  // ranges — gossip fans out everywhere, so expect a high cross-shard
+  // message fraction relative to ICI (exp19's contrast).
+  shards_ = cfg_.shards == 0 ? sim::default_shards() : cfg_.shards;
+  if (shards_ > 1) {
+    sim_.configure_shards(shards_, sim::lookahead_from(cfg_.net));
+    sim_.set_barrier_hook([this] { flush_deferred_stores(); });
+    deferred_stores_.resize(shards_);
+  }
+  if (cfg_.sync_serve_rate_bps > 0.0)
+    serve_throttle_ = std::make_unique<sync::ServeThrottle>(cfg_.sync_serve_rate_bps);
+
   const auto infos =
       cluster::generate_topology(cfg_.node_count, cfg_.regions, cfg_.seed, 100.0, false);
   net_->reserve_nodes(infos.size());
@@ -196,6 +226,8 @@ FullRepNetwork::FullRepNetwork(FullRepConfig cfg) : cfg_(cfg) {
     const sim::NodeId assigned = net_->add_node(&node, info.coord);
     if (assigned != info.id) throw std::logic_error("fullrep id mismatch");
     coords_.push_back(info.coord);
+    if (shards_ > 1)
+      sim_.set_node_lane(info.id, sim::contiguous_lane(info.id, cfg_.node_count, shards_));
   }
 
   // Random connected-ish peer graph: a ring (guarantees connectivity) plus
@@ -251,6 +283,15 @@ sim::SimTime FullRepNetwork::disseminate_and_settle(const Block& block) {
 
 void FullRepNetwork::note_stored(sim::NodeId id, const Hash256& hash) {
   (void)id;
+  if (sim_.in_parallel_phase()) {
+    const sim::Simulator::EventRef ev = sim_.current_event();
+    deferred_stores_[sim_.current_lane()].push_back({ev.at, ev.key, hash});
+    return;
+  }
+  note_stored_now(hash, sim_.now());
+}
+
+void FullRepNetwork::note_stored_now(const Hash256& hash, sim::SimTime at) {
   const auto it = spreads_.find(hash);
   if (it == spreads_.end()) return;
   it->second.holders += 1;
@@ -258,7 +299,20 @@ void FullRepNetwork::note_stored(sim::NodeId id, const Hash256& hash) {
   for (sim::NodeId i = 0; i < nodes_.size(); ++i) {
     if (net_->online(static_cast<sim::NodeId>(i))) ++online;
   }
-  if (it->second.holders >= online) it->second.finished = sim_.now();
+  if (it->second.holders >= online) it->second.finished = at;
+}
+
+void FullRepNetwork::flush_deferred_stores() {
+  std::vector<DeferredStore> all;
+  for (auto& lane : deferred_stores_) {
+    all.insert(all.end(), lane.begin(), lane.end());
+    lane.clear();
+  }
+  if (all.empty()) return;
+  std::sort(all.begin(), all.end(), [](const DeferredStore& a, const DeferredStore& b) {
+    return a.at != b.at ? a.at < b.at : a.key < b.key;
+  });
+  for (const DeferredStore& s : all) note_stored_now(s.hash, s.at);
 }
 
 void FullRepNetwork::preload_chain(const Chain& chain) {
@@ -276,6 +330,7 @@ sim::NodeId FullRepNetwork::add_sync_joiner(sim::Coord coord) {
   FullRepNode& node = nodes_.emplace_back(*this, joiner_id);
   const sim::NodeId id = net_->add_node(&node, coord);
   coords_.push_back(coord);
+  if (shards_ > 1) sim_.set_node_lane(id, sim::contiguous_lane(id, cfg_.node_count, shards_));
 
   // Connect the joiner to its peer_degree nearest nodes — the pull peers of
   // the multi-peer bulk sync (the old path hung off a single neighbour).

@@ -21,6 +21,7 @@
 #include "storage/block_store.h"
 #include "storage/fleet_tally.h"
 #include "storage/header_index.h"
+#include "sync/serve.h"
 #include "sync/session.h"
 
 namespace ici::baseline {
@@ -35,6 +36,11 @@ struct FullRepConfig {
   sim::NetworkConfig net;
   std::size_t regions = 5;
   std::uint64_t seed = 1;
+  /// Event shards for the simulator; contiguous id ranges share a lane
+  /// (there are no clusters here). 0 = sim::default_shards() (--shards).
+  std::size_t shards = 0;
+  /// Serve-side bulk-sync rate limit in bytes/s of sim time; 0 = off.
+  double sync_serve_rate_bps = 0.0;
 };
 
 // -- wire messages ----------------------------------------------------------
@@ -114,6 +120,7 @@ class FullRepNode final : public sim::INode, private sync::BulkPullSession::Env 
 
   // -- streaming sync (sync::BulkPullSession::Env + serving) -------------
   void handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg);
+  void send_sync_response(sim::NodeId to, sim::MessagePtr msg);
   [[nodiscard]] sim::NodeId sync_self() const override { return id_; }
   [[nodiscard]] sim::Simulator& sync_simulator() override;
   void sync_send(sim::NodeId to, sim::MessagePtr msg) override;
@@ -215,11 +222,20 @@ class FullRepNetwork {
   }
   [[nodiscard]] FleetTally& fleet_tally() { return fleet_tally_; }
 
-  /// Called by nodes when they store a disseminated block.
+  /// Called by nodes when they store a disseminated block. During a
+  /// parallel shard window the record is buffered per lane and applied at
+  /// the next barrier in (at, key) order (shard-count-invariant).
   void note_stored(sim::NodeId id, const Hash256& hash);
 
+  /// Serve-side sync throttle, or nullptr when --sync-serve-rate is 0.
+  [[nodiscard]] sync::ServeThrottle* serve_throttle() { return serve_throttle_.get(); }
+
  private:
+  void note_stored_now(const Hash256& hash, sim::SimTime at);
+  void flush_deferred_stores();
+
   FullRepConfig cfg_;
+  std::size_t shards_ = 1;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
   // Shared header snapshot + SoA tallies outlive the nodes bound to them.
@@ -237,6 +253,13 @@ class FullRepNetwork {
     sim::SimTime finished = 0;
   };
   std::unordered_map<Hash256, Spread, Hash256Hasher> spreads_;
+  struct DeferredStore {
+    sim::SimTime at = 0;
+    std::uint64_t key = 0;
+    Hash256 hash;
+  };
+  std::vector<std::vector<DeferredStore>> deferred_stores_;
+  std::unique_ptr<sync::ServeThrottle> serve_throttle_;
   std::uint64_t proposer_cursor_ = 0;
   bool genesis_done_ = false;
   StatusObserver status_observer_;

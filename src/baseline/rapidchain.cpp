@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "metrics/sim_metrics.h"
 #include "obs/trace.h"
+#include "sim/lbts.h"
+#include "sim/shard.h"
 #include "sync/driver.h"
 #include "sync/serve.h"
 
@@ -132,14 +134,14 @@ void RapidChainNode::handle_sync_message(sim::NodeId from, const sync::SyncMessa
   switch (msg.sync_kind()) {
     case sync::SyncMsgKind::kFrontierRequest: {
       const auto& req = static_cast<const sync::FrontierRequestMsg&>(msg);
-      ctx_.network().send(
-          id_, from,
+      send_sync_response(
+          from,
           sync::serve_frontier(store_, req, store_.block_count(), /*serves_shards=*/false));
       break;
     }
     case sync::SyncMsgKind::kRangeRequest: {
       const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
-      ctx_.network().send(id_, from, sync::serve_range(store_, req));
+      send_sync_response(from, sync::serve_range(store_, req));
       break;
     }
     case sync::SyncMsgKind::kFrontierResponse:
@@ -147,6 +149,22 @@ void RapidChainNode::handle_sync_message(sim::NodeId from, const sync::SyncMessa
       if (sync_session_) sync_session_->on_sync_message(from, msg);
       break;
   }
+}
+
+void RapidChainNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg) {
+  sync::ServeThrottle* throttle = ctx_.serve_throttle();
+  if (throttle != nullptr) {
+    const std::uint64_t delay =
+        throttle->delay_for(id_, to, msg->wire_size(), ctx_.simulator().now());
+    if (delay > 0) {
+      ctx_.metrics().counter("sync.serve_throttled").inc();
+      ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
+        ctx_.network().send(id_, to, msg);
+      });
+      return;
+    }
+  }
+  ctx_.network().send(id_, to, std::move(msg));
 }
 
 sim::Simulator& RapidChainNode::sync_simulator() { return ctx_.simulator(); }
@@ -189,6 +207,17 @@ RapidChainNetwork::RapidChainNetwork(RapidChainConfig cfg) : cfg_(cfg) {
     throw std::invalid_argument("RapidChainNetwork: bad committee_count");
   net_ = std::make_unique<sim::Network>(sim_, cfg_.net);
 
+  // Sharded event engine: whole committees share a lane, so IDA gossip —
+  // which never leaves the committee — stays lane-local.
+  shards_ = cfg_.shards == 0 ? sim::default_shards() : cfg_.shards;
+  if (shards_ > 1) {
+    sim_.configure_shards(shards_, sim::lookahead_from(cfg_.net));
+    sim_.set_barrier_hook([this] { flush_deferred_stores(); });
+    deferred_stores_.resize(shards_);
+  }
+  if (cfg_.sync_serve_rate_bps > 0.0)
+    serve_throttle_ = std::make_unique<sync::ServeThrottle>(cfg_.sync_serve_rate_bps);
+
   const auto infos =
       cluster::generate_topology(cfg_.node_count, cfg_.regions, cfg_.seed, 100.0, false);
   committees_.assign(cfg_.committee_count, {});
@@ -218,6 +247,12 @@ RapidChainNetwork::RapidChainNetwork(RapidChainConfig cfg) : cfg_(cfg) {
         [](const auto& a, const auto& b) { return a.size() < b.size(); });
     committee.push_back(biggest.back());
     biggest.pop_back();
+  }
+  if (shards_ > 1) {
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+      sim_.set_node_lane(static_cast<sim::NodeId>(id),
+                         static_cast<std::uint32_t>(nodes_[id].committee() % shards_));
+    }
   }
 }
 
@@ -272,10 +307,32 @@ std::shared_ptr<const Block> RapidChainNetwork::pending_block(const Hash256& has
 
 void RapidChainNetwork::note_stored(sim::NodeId id, const Hash256& hash) {
   (void)id;
+  if (sim_.in_parallel_phase()) {
+    const sim::Simulator::EventRef ev = sim_.current_event();
+    deferred_stores_[sim_.current_lane()].push_back({ev.at, ev.key, hash});
+    return;
+  }
+  note_stored_now(hash, sim_.now());
+}
+
+void RapidChainNetwork::note_stored_now(const Hash256& hash, sim::SimTime at) {
   const auto it = spreads_.find(hash);
   if (it == spreads_.end()) return;
   it->second.holders += 1;
-  if (it->second.holders >= it->second.committee_size) it->second.finished = sim_.now();
+  if (it->second.holders >= it->second.committee_size) it->second.finished = at;
+}
+
+void RapidChainNetwork::flush_deferred_stores() {
+  std::vector<DeferredStore> all;
+  for (auto& lane : deferred_stores_) {
+    all.insert(all.end(), lane.begin(), lane.end());
+    lane.clear();
+  }
+  if (all.empty()) return;
+  std::sort(all.begin(), all.end(), [](const DeferredStore& a, const DeferredStore& b) {
+    return a.at != b.at ? a.at < b.at : a.key < b.key;
+  });
+  for (const DeferredStore& s : all) note_stored_now(s.hash, s.at);
 }
 
 void RapidChainNetwork::preload_chain(const Chain& chain) {
@@ -301,6 +358,7 @@ sim::NodeId RapidChainNetwork::add_sync_joiner(sim::Coord coord) {
   const sim::NodeId id = net_->add_node(&node, coord);
   coords_.push_back(coord);
   committees_[c].push_back(id);
+  if (shards_ > 1) sim_.set_node_lane(id, static_cast<std::uint32_t>(c % shards_));
   return id;
 }
 

@@ -133,6 +133,9 @@ void add_bench_flags(FlagParser& parser, BenchOptions* opts) {
   parser.add_string("fault-plan", &opts->fault_plan,
                     "fault-injection spec, e.g. seed=7,crash=0.3,drop=0.1 "
                     "(see docs/FAULTS.md; empty = faults disabled)");
+  parser.add_uint("shards", &opts->shards,
+                  "event shards (parallel simulator lanes); sim metrics are "
+                  "bit-identical for any value (docs/SIMULATOR.md)");
 }
 
 std::size_t apply_bench_options(const BenchOptions& opts, const std::string& program) {

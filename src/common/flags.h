@@ -60,6 +60,10 @@ struct BenchOptions {
   std::string cpu;            // "" = keep the default dispatch tier
   std::uint64_t seed = 42;
   std::string fault_plan;  // sim::FaultPlan::parse spec ("" = disabled)
+  /// Event shards (parallel simulator lanes). Applied via
+  /// sim::set_default_shards by the sim-linking callers (bench_util's
+  /// parse_bench_options, icisim) — common/ cannot depend on sim/.
+  std::uint64_t shards = 1;
 };
 
 /// Registers the shared bench flags on `parser`, bound to `*opts`.

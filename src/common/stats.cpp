@@ -35,18 +35,92 @@ double RunningStat::cv() const {
   return stddev() / mean_;
 }
 
+Histogram::Histogram(const Histogram& other) {
+  const std::lock_guard<std::mutex> lk(other.mu_);
+  samples_ = other.samples_;
+  sorted_ = other.sorted_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  std::vector<double> copy;
+  bool sorted = true;
+  {
+    const std::lock_guard<std::mutex> lk(other.mu_);
+    copy = other.samples_;
+    sorted = other.sorted_;
+  }
+  const std::lock_guard<std::mutex> lk(mu_);
+  samples_ = std::move(copy);
+  sorted_ = sorted;
+  return *this;
+}
+
 void Histogram::add(double x) {
+  const std::lock_guard<std::mutex> lk(mu_);
   samples_.push_back(x);
   sorted_ = false;
-  stat_.add(x);
+}
+
+void Histogram::ensure_sorted_locked() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double Histogram::sum_locked() const {
+  // Summed in sorted order so the floating-point rounding is canonical
+  // for the sample multiset, independent of insertion order.
+  ensure_sorted_locked();
+  double total = 0.0;
+  for (const double v : samples_) total += v;
+  return total;
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return samples_.size();
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return sum_locked();
+}
+
+double Histogram::mean() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (samples_.empty()) return 0.0;
+  return sum_locked() / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted_locked();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted_locked();
+  return samples_.back();
+}
+
+double Histogram::stddev() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t n = samples_.size();
+  if (n < 2) return 0.0;
+  const double mean = sum_locked() / static_cast<double>(n);
+  double m2 = 0.0;
+  for (const double v : samples_) m2 += (v - mean) * (v - mean);
+  return std::sqrt(m2 / static_cast<double>(n - 1));
 }
 
 double Histogram::percentile(double p) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+  ensure_sorted_locked();
   p = std::clamp(p, 0.0, 100.0);
   // Nearest-rank with linear interpolation between adjacent ranks.
   const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,16 +36,28 @@ class RunningStat {
 
 /// Retains all samples; percentiles are exact (nearest-rank on the sorted
 /// sample). Fine for simulation scales (≤ millions of samples).
+///
+/// Thread-safe: add() may be called from concurrent event lanes (sim
+/// sharding). Every aggregate — including sum/mean/stddev — is computed
+/// from the *sorted* sample on demand, so the results are a pure function
+/// of the sample multiset: identical no matter which order lanes appended
+/// in (a streaming Welford accumulator would leak insertion order through
+/// floating-point non-associativity and break the cross-K bit-identity
+/// contract).
 class Histogram {
  public:
+  Histogram() = default;
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
   void add(double x);
 
-  [[nodiscard]] std::uint64_t count() const { return samples_.size(); }
-  [[nodiscard]] double mean() const { return stat_.mean(); }
-  [[nodiscard]] double min() const { return stat_.min(); }
-  [[nodiscard]] double max() const { return stat_.max(); }
-  [[nodiscard]] double stddev() const { return stat_.stddev(); }
-  [[nodiscard]] double sum() const { return stat_.sum(); }
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const;
 
   /// p in [0,100]. Returns 0 when empty.
   [[nodiscard]] double percentile(double p) const;
@@ -53,9 +66,13 @@ class Histogram {
   [[nodiscard]] double p99() const { return percentile(99); }
 
  private:
+  /// Sorts samples_ if needed. Caller must hold mu_.
+  void ensure_sorted_locked() const;
+  [[nodiscard]] double sum_locked() const;
+
+  mutable std::mutex mu_;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
-  RunningStat stat_;
 };
 
 /// "12.3 KiB", "4.0 MiB", ... — used by table output.

@@ -6,6 +6,8 @@
 
 #include "metrics/sim_metrics.h"
 #include "obs/trace.h"
+#include "sim/lbts.h"
+#include "sim/shard.h"
 
 namespace ici::core {
 
@@ -37,6 +39,18 @@ IciNetwork::IciNetwork(IciNetworkConfig cfg) : cfg_(std::move(cfg)) {
   cluster::Clustering clustering = clusterer->cluster(infos_, cfg_.ici.cluster_count);
   directory_ = std::make_unique<cluster::ClusterDirectory>(infos_, std::move(clustering));
 
+  // Sharded event engine: whole clusters share a lane, so the dominant
+  // intra-cluster traffic never crosses a lane boundary. Configured before
+  // any node registers (the simulator requires an empty calendar).
+  shards_ = cfg_.shards == 0 ? sim::default_shards() : cfg_.shards;
+  if (shards_ > 1) {
+    sim_.configure_shards(shards_, sim::lookahead_from(cfg_.net));
+    sim_.set_barrier_hook([this] { flush_deferred_commits(); });
+    deferred_commits_.resize(shards_);
+  }
+  if (cfg_.sync_serve_rate_bps > 0.0)
+    serve_throttle_ = std::make_unique<sync::ServeThrottle>(cfg_.sync_serve_rate_bps);
+
   assigner_ =
       std::make_unique<cluster::RendezvousAssigner>(cfg_.ici.capacity_weighted_assignment);
   shard_owner_assigner_ = std::make_unique<cluster::RendezvousAssigner>(false);
@@ -51,6 +65,7 @@ IciNetwork::IciNetwork(IciNetworkConfig cfg) : cfg_(std::move(cfg)) {
     IciNode& node = nodes_.emplace_back(*this, info.id);
     const sim::NodeId assigned = net_->add_node(&node, info.coord);
     if (assigned != info.id) throw std::logic_error("node id mismatch during registration");
+    if (shards_ > 1) sim_.set_node_lane(info.id, directory_->shard_of(info.id, shards_));
   }
 
   // The newest network drives the trace sink's sim clock; the token keeps a
@@ -216,15 +231,42 @@ sim::SimTime IciNetwork::disseminate_and_settle(const Block& block) {
 void IciNetwork::note_commit(std::size_t cluster, const Block& block) {
   (void)cluster;
   const Hash256 hash = block.hash();
+  if (sim_.in_parallel_phase()) {
+    // Commit handlers on different lanes would race on progress_/committed_;
+    // buffer the record and apply it at the barrier in (at, key) order —
+    // the same order the single-queue engine would have applied it.
+    const sim::Simulator::EventRef ev = sim_.current_event();
+    deferred_commits_[sim_.current_lane()].push_back(
+        {ev.at, ev.key, hash, block.header().height, block.serialized_size()});
+    return;
+  }
+  note_commit_now(hash, block.header().height, block.serialized_size(), sim_.now());
+}
+
+void IciNetwork::note_commit_now(const Hash256& hash, std::uint64_t height,
+                                 std::size_t size_bytes, sim::SimTime at) {
   auto& prog = progress_[hash];
   prog.clusters_committed += 1;
   if (prog.clusters_committed == 1) {
     committed_index_.emplace(hash, committed_.size());
-    committed_.push_back({hash, block.header().height, block.serialized_size()});
+    committed_.push_back({hash, height, size_bytes});
   }
   if (prog.clusters_committed == directory_->cluster_count()) {
-    prog.fully_committed_at = sim_.now();
+    prog.fully_committed_at = at;
   }
+}
+
+void IciNetwork::flush_deferred_commits() {
+  std::vector<DeferredCommit> all;
+  for (auto& lane : deferred_commits_) {
+    all.insert(all.end(), lane.begin(), lane.end());
+    lane.clear();
+  }
+  if (all.empty()) return;
+  std::sort(all.begin(), all.end(), [](const DeferredCommit& a, const DeferredCommit& b) {
+    return a.at != b.at ? a.at < b.at : a.key < b.key;
+  });
+  for (const DeferredCommit& c : all) note_commit_now(c.hash, c.height, c.size_bytes, c.at);
 }
 
 sim::SimTime IciNetwork::full_commit_time(const Hash256& hash) const {
@@ -629,6 +671,7 @@ NodeId IciNetwork::add_joiner(sim::Coord coord, std::size_t cluster) {
   IciNode& node = nodes_.emplace_back(*this, info.id);
   const sim::NodeId assigned = net_->add_node(&node, coord);
   if (assigned != info.id) throw std::logic_error("joiner id mismatch");
+  if (shards_ > 1) sim_.set_node_lane(info.id, directory_->shard_of(info.id, shards_));
   return info.id;
 }
 

@@ -26,6 +26,7 @@
 #include "storage/fleet_tally.h"
 #include "storage/header_index.h"
 #include "storage/storage_meter.h"
+#include "sync/serve.h"
 
 namespace ici::core {
 
@@ -37,6 +38,13 @@ struct IciNetworkConfig {
   std::size_t regions = 5;
   bool heterogeneous_capacity = false;
   std::uint64_t seed = 1;
+  /// Event shards (parallel lanes) for the simulator; whole clusters map to
+  /// one lane (cluster % shards). 0 means "use sim::default_shards()" (the
+  /// --shards flag); 1 runs the classic single-queue engine.
+  std::size_t shards = 0;
+  /// Serve-side bulk-sync rate limit per (server, peer) pair in bytes per
+  /// second of sim time; 0 disables throttling (--sync-serve-rate).
+  double sync_serve_rate_bps = 0.0;
 };
 
 class IciNetwork {
@@ -150,8 +158,14 @@ class IciNetwork {
   [[nodiscard]] const std::vector<CommittedBlock>& committed() const { return committed_; }
 
   /// Called by heads when their cluster commits. Tracks per-block commit
-  /// coverage for dissemination latency measurements.
+  /// coverage for dissemination latency measurements. During a parallel
+  /// shard window the record is buffered per lane and applied at the next
+  /// barrier in deterministic (at, key) order, so commit bookkeeping is
+  /// identical for every shard count.
   void note_commit(std::size_t cluster, const Block& block);
+
+  /// Serve-side sync throttle, or nullptr when --sync-serve-rate is 0.
+  [[nodiscard]] sync::ServeThrottle* serve_throttle() { return serve_throttle_.get(); }
 
   /// Sim time when all clusters had committed `hash` (0 if not yet).
   [[nodiscard]] sim::SimTime full_commit_time(const Hash256& hash) const;
@@ -213,8 +227,12 @@ class IciNetwork {
  private:
   void handle_churn_event(cluster::NodeId id, bool online);
   void repair_cluster_coded(std::size_t cluster);
+  void note_commit_now(const Hash256& hash, std::uint64_t height,
+                       std::size_t size_bytes, sim::SimTime at);
+  void flush_deferred_commits();
 
   IciNetworkConfig cfg_;
+  std::size_t shards_ = 1;  // resolved (cfg_.shards or the --shards default)
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
   std::vector<cluster::NodeInfo> infos_;
@@ -242,6 +260,17 @@ class IciNetwork {
     sim::SimTime fully_committed_at = 0;
   };
   std::unordered_map<Hash256, CommitProgress, Hash256Hasher> progress_;
+  /// Commits recorded inside a parallel shard window, buffered per lane and
+  /// flushed at the barrier sorted by (at, key).
+  struct DeferredCommit {
+    sim::SimTime at = 0;
+    std::uint64_t key = 0;
+    Hash256 hash;
+    std::uint64_t height = 0;
+    std::size_t size_bytes = 0;
+  };
+  std::vector<std::vector<DeferredCommit>> deferred_commits_;
+  std::unique_ptr<sync::ServeThrottle> serve_throttle_;
   std::uint64_t proposer_cursor_ = 0;
   bool genesis_done_ = false;
   std::uint64_t trace_clock_token_ = 0;

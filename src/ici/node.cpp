@@ -1393,13 +1393,13 @@ void IciNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg
       const auto& req = static_cast<const sync::FrontierRequestMsg&>(msg);
       const std::uint64_t inventory =
           ctx_.coded() ? shard_store_.shard_count() : store_.block_count();
-      ctx_.network().send(id_, from,
-                          sync::serve_frontier(store_, req, inventory, ctx_.coded()));
+      send_sync_response(from,
+                         sync::serve_frontier(store_, req, inventory, ctx_.coded()));
       break;
     }
     case sync::SyncMsgKind::kRangeRequest: {
       const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
-      ctx_.network().send(id_, from, sync::serve_range(store_, req));
+      send_sync_response(from, sync::serve_range(store_, req));
       break;
     }
     case sync::SyncMsgKind::kFrontierResponse:
@@ -1407,6 +1407,24 @@ void IciNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg
       if (sync_session_) sync_session_->on_sync_message(from, msg);
       break;
   }
+}
+
+void IciNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg) {
+  sync::ServeThrottle* throttle = ctx_.serve_throttle();
+  if (throttle != nullptr) {
+    const std::uint64_t delay =
+        throttle->delay_for(id_, to, msg->wire_size(), ctx_.simulator().now());
+    if (delay > 0) {
+      ctx_.metrics().counter("sync.serve_throttled").inc();
+      // Deferred send runs in this node's own context, so the wire message
+      // departs when the bucket has room — the peer just sees it later.
+      ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
+        ctx_.network().send(id_, to, msg);
+      });
+      return;
+    }
+  }
+  ctx_.network().send(id_, to, std::move(msg));
 }
 
 sim::Simulator& IciNode::sync_simulator() { return ctx_.simulator(); }

@@ -3,6 +3,7 @@
 // hits/misses, end-to-end latencies).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -10,14 +11,25 @@
 
 namespace ici::metrics {
 
+/// Monotonic counter. Increments are relaxed atomics so protocol handlers
+/// running on concurrent event lanes (sim sharding, docs/SIMULATOR.md) can
+/// bump shared counters without locks; the summed value is order-free and
+/// therefore deterministic for a deterministic event set.
 class Counter {
  public:
-  void inc(std::uint64_t by = 1) { value_ += by; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Latency/size distribution; thin alias with a domain name.

@@ -2,21 +2,30 @@
 
 namespace ici::metrics {
 
-Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return counters_[name];
+}
 
-Distribution& Registry::distribution(const std::string& name) { return dists_[name]; }
+Distribution& Registry::distribution(const std::string& name) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return dists_[name];
+}
 
 std::uint64_t Registry::counter_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
 const Distribution* Registry::find_distribution(const std::string& name) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = dists_.find(name);
   return it == dists_.end() ? nullptr : &it->second;
 }
 
 void Registry::reset() {
+  const std::lock_guard<std::mutex> lk(mu_);
   counters_.clear();
   dists_.clear();
 }

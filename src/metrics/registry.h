@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "metrics/counters.h"
@@ -12,13 +13,18 @@ namespace ici::metrics {
 
 class Registry {
  public:
-  /// Finds or creates.
+  /// Finds or creates. Safe from concurrent event lanes: the find-or-create
+  /// is mutex-guarded and std::map nodes are stable, so the returned
+  /// references stay valid while other lanes insert. (Counter increments
+  /// and Distribution adds are themselves thread-safe.)
   Counter& counter(const std::string& name);
   Distribution& distribution(const std::string& name);
 
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] const Distribution* find_distribution(const std::string& name) const;
 
+  /// Whole-map views for report/emission code — harness contexts only (no
+  /// lane may be executing while iterating).
   [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
   [[nodiscard]] const std::map<std::string, Distribution>& distributions() const {
     return dists_;
@@ -27,6 +33,7 @@ class Registry {
   void reset();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Distribution> dists_;
 };

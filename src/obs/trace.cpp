@@ -33,15 +33,25 @@ TraceSink& TraceSink::global() {
 }
 
 void TraceSink::record_wall(std::string_view label, double wall_us) {
-  auto it = labels_.find(label);
-  if (it == labels_.end()) it = labels_.emplace(std::string(label), LabelData{}).first;
-  it->second.wall.add(wall_us);
+  metrics::Distribution* dist = nullptr;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    auto it = labels_.find(label);
+    if (it == labels_.end()) it = labels_.emplace(std::string(label), LabelData{}).first;
+    dist = &it->second.wall;  // map nodes are stable; add() outside the lock
+  }
+  dist->add(wall_us);
 }
 
 void TraceSink::record_sim(std::string_view label, double sim_us) {
-  auto it = labels_.find(label);
-  if (it == labels_.end()) it = labels_.emplace(std::string(label), LabelData{}).first;
-  it->second.sim.add(sim_us);
+  metrics::Distribution* dist = nullptr;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    auto it = labels_.find(label);
+    if (it == labels_.end()) it = labels_.emplace(std::string(label), LabelData{}).first;
+    dist = &it->second.sim;
+  }
+  dist->add(sim_us);
 }
 
 std::uint64_t TraceSink::set_sim_clock(SimClock clock) {
@@ -54,6 +64,7 @@ void TraceSink::clear_sim_clock(std::uint64_t token) {
 }
 
 std::vector<LabelAggregate> TraceSink::aggregates() const {
+  const std::lock_guard<std::mutex> lk(mu_);
   std::vector<LabelAggregate> out;
   out.reserve(labels_.size());
   for (const auto& [label, data] : labels_) {
@@ -69,34 +80,47 @@ std::vector<LabelAggregate> TraceSink::aggregates() const {
 }
 
 const metrics::Distribution* TraceSink::wall_distribution(std::string_view label) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = labels_.find(label);
   if (it == labels_.end() || it->second.wall.count() == 0) return nullptr;
   return &it->second.wall;
 }
 
 const metrics::Distribution* TraceSink::sim_distribution(std::string_view label) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = labels_.find(label);
   if (it == labels_.end() || it->second.sim.count() == 0) return nullptr;
   return &it->second.sim;
 }
 
 void TraceSink::reset() {
+  const std::lock_guard<std::mutex> lk(mu_);
   labels_.clear();
-  span_stack_.clear();
+  span_stack().clear();
+}
+
+std::vector<std::string>& TraceSink::span_stack() const {
+  // Keyed by sink so tests using private sinks next to the global one keep
+  // separate nesting. Stacks are empty except mid-span, so a stale entry
+  // for a destroyed sink's address is harmless.
+  thread_local std::map<const TraceSink*, std::vector<std::string>> stacks;
+  return stacks[this];
 }
 
 const std::string& TraceSink::current_path() const {
   static const std::string kEmpty;
-  return span_stack_.empty() ? kEmpty : span_stack_.back();
+  const std::vector<std::string>& stack = span_stack();
+  return stack.empty() ? kEmpty : stack.back();
 }
 
 void TraceSink::push_span(std::string effective_label) {
-  span_stack_.push_back(std::move(effective_label));
+  span_stack().push_back(std::move(effective_label));
 }
 
 void TraceSink::pop_span() {
-  if (span_stack_.empty()) throw std::logic_error("TraceSink: span stack underflow");
-  span_stack_.pop_back();
+  std::vector<std::string>& stack = span_stack();
+  if (stack.empty()) throw std::logic_error("TraceSink: span stack underflow");
+  stack.pop_back();
 }
 
 Span::Span(std::string_view label, TraceSink& sink)

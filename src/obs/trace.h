@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -67,10 +68,13 @@ class TraceSink {
   [[nodiscard]] const metrics::Distribution* wall_distribution(std::string_view label) const;
   [[nodiscard]] const metrics::Distribution* sim_distribution(std::string_view label) const;
 
-  // Drops all samples and the span path stack; the sim clock stays.
+  // Drops all samples and the calling thread's span path stack; the sim
+  // clock stays.
   void reset();
 
-  // Span support: effective label of the innermost open span ("" if none).
+  // Span support: effective label of the innermost open span on the calling
+  // thread ("" if none). Span stacks are per-thread so handlers on
+  // concurrent event lanes nest independently.
   [[nodiscard]] const std::string& current_path() const;
   void push_span(std::string effective_label);
   void pop_span();
@@ -81,14 +85,21 @@ class TraceSink {
     metrics::Distribution sim;
   };
 
+  /// Calling thread's span stack for this sink (lazily created).
+  [[nodiscard]] std::vector<std::string>& span_stack() const;
+
+  /// Guards labels_ lookups/inserts; std::map node stability keeps the
+  /// per-label Distribution references valid across concurrent inserts,
+  /// and Distribution::add is itself thread-safe.
+  mutable std::mutex mu_;
   std::map<std::string, LabelData, std::less<>> labels_;
-  std::vector<std::string> span_stack_;
   SimClock sim_clock_;
   std::uint64_t clock_token_ = 0;
 };
 
-// RAII span. Single-threaded by design (the simulator is single-threaded);
-// spans must be destroyed in LIFO order, which scoping guarantees.
+// RAII span. Spans opened on different threads (event lanes, docs/
+// THREADING.md) nest per-thread; on each thread spans must be destroyed in
+// LIFO order, which scoping guarantees.
 class Span {
  public:
   explicit Span(std::string_view label, TraceSink& sink = TraceSink::global());

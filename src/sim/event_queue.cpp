@@ -16,10 +16,11 @@ std::uint32_t EventQueue::pool_acquire() {
   return idx;
 }
 
-void EventQueue::schedule_entry(SimTime at, std::uint32_t pool_idx) {
+void EventQueue::schedule_entry(SimTime at, std::uint64_t seq, std::uint32_t owner,
+                                std::uint32_t pool_idx) {
   ++stats_.scheduled;
   if (pool_at(pool_idx)->heap_backed()) ++stats_.heap_fallback_events;
-  Entry e{at, next_seq_++, pool_idx};
+  Entry e{at, seq, pool_idx, owner};
 
   if (size_ == 0) {
     // Empty queue: re-anchor the window on this event so it lands in the
@@ -109,6 +110,13 @@ SimTime EventQueue::next_time() {
   if (size_ == 0) throw std::logic_error("EventQueue::next_time: empty");
   prepare();
   return pop_from_overflow() ? overflow_.front().at : near_.back().at;
+}
+
+EventQueue::NextRef EventQueue::peek_next() {
+  if (size_ == 0) throw std::logic_error("EventQueue::peek_next: empty");
+  prepare();
+  const Entry& e = pop_from_overflow() ? overflow_.front() : near_.back();
+  return NextRef{e.at, e.seq, e.owner};
 }
 
 SimTime EventQueue::run_next() {

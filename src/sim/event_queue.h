@@ -45,6 +45,11 @@ class EventQueue {
  public:
   using Event = InplaceEvent;
 
+  /// Owner id for entries scheduled outside any node context (harness code,
+  /// global timers). Sorts after every real node at equal (at, key) prefix
+  /// because keys embed the owner in their high bits.
+  static constexpr std::uint32_t kNoOwner = 0xFFFFFFFFu;
+
   /// Calendar geometry. ~1 ms buckets × 4096 slots ≈ 4.2 s of sim time in
   /// the O(1) window. Buckets are deliberately *narrower* than a typical
   /// message delivery (transfer + propagation, a few ms) so chained sends
@@ -70,11 +75,14 @@ class EventQueue {
   }
 
   /// Schedules `ev` at absolute time `at`. Events at equal times run in
-  /// insertion order (the sequence number breaks ties).
+  /// insertion order (the sequence number breaks ties). Legacy single-lane
+  /// API: never mix with schedule_keyed() on the same queue instance — the
+  /// auto-assigned sequence numbers and caller-provided keys share one tie
+  /// break space.
   void schedule_at(SimTime at, Event ev) {
     const std::uint32_t idx = pool_acquire();
     *pool_at(idx) = std::move(ev);
-    schedule_entry(at, idx);
+    schedule_entry(at, next_seq_++, kNoOwner, idx);
   }
 
   /// Callable overload: constructs the closure directly in its pool slot,
@@ -83,7 +91,25 @@ class EventQueue {
   void schedule_at(SimTime at, F&& action) {
     const std::uint32_t idx = pool_acquire();
     pool_at(idx)->emplace(std::forward<F>(action));
-    schedule_entry(at, idx);
+    schedule_entry(at, next_seq_++, kNoOwner, idx);
+  }
+
+  /// Keyed variant used by the sharded Simulator: the caller supplies the
+  /// tie-break key (unique per (at, key) across ALL lanes — Simulator packs
+  /// (source node, per-source counter) into it) and the owning node, which
+  /// run_next()/peek_next() hand back so the engine can establish the
+  /// execution context before invoking the closure.
+  void schedule_keyed(SimTime at, std::uint64_t key, std::uint32_t owner, Event ev) {
+    const std::uint32_t idx = pool_acquire();
+    *pool_at(idx) = std::move(ev);
+    schedule_entry(at, key, owner, idx);
+  }
+
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Event>>>
+  void schedule_keyed(SimTime at, std::uint64_t key, std::uint32_t owner, F&& action) {
+    const std::uint32_t idx = pool_acquire();
+    pool_at(idx)->emplace(std::forward<F>(action));
+    schedule_entry(at, key, owner, idx);
   }
 
   [[nodiscard]] bool empty() const { return size_ == 0; }
@@ -95,6 +121,15 @@ class EventQueue {
 
   /// Pops and runs the earliest event; returns its time.
   SimTime run_next();
+
+  /// (at, key, owner) of the earliest pending event without popping it.
+  /// Same window-advancing behaviour as next_time(). Throws when empty.
+  struct NextRef {
+    SimTime at;
+    std::uint64_t key;
+    std::uint32_t owner;
+  };
+  [[nodiscard]] NextRef peek_next();
 
   /// Structural instrumentation for the sim/core observability surface.
   /// Everything here is deterministic for a deterministic schedule sequence
@@ -121,6 +156,7 @@ class EventQueue {
     SimTime at;
     std::uint64_t seq;
     std::uint32_t pool_idx;
+    std::uint32_t owner;  // executing node (kNoOwner for harness/global) — fills former padding
   };
   static_assert(std::is_trivially_copyable_v<Entry>);
   /// Ordering predicate: "a runs later than b" — an exact total order
@@ -150,8 +186,9 @@ class EventQueue {
   static constexpr std::size_t kChunkSize = 1024;  // events per chunk, power of two
   /// Pops a free pool slot (growing the pool by a chunk when none remain).
   [[nodiscard]] std::uint32_t pool_acquire();
-  /// Files the already-populated slot `pool_idx` under time `at`.
-  void schedule_entry(SimTime at, std::uint32_t pool_idx);
+  /// Files the already-populated slot `pool_idx` under (at, seq, owner).
+  void schedule_entry(SimTime at, std::uint64_t seq, std::uint32_t owner,
+                      std::uint32_t pool_idx);
   [[nodiscard]] Event* pool_at(std::uint32_t idx) {
     return &chunks_[idx / kChunkSize][idx % kChunkSize];
   }

@@ -1,0 +1,39 @@
+// Conservative lookahead derivation for the sharded simulator
+// (null-message / LBTS-style synchronization, docs/SIMULATOR.md).
+//
+// Safety argument: every cross-lane event is a message delivery, and every
+// delivery arrives at
+//
+//   departure + propagation + jitter + fault_delay
+//
+// where departure >= the sender's current sim time, propagation =
+// base_propagation_us + distance * us_per_distance_unit >= base_propagation_us,
+// jitter is clamped to >= 0 (sim/network.cpp), and fault extra-delay is >= 0.
+// So any event executed inside a parallel window [m, B) can only schedule
+// cross-lane work at times >= m + base_propagation_us. With
+//
+//   L = max(1, floor(base_propagation_us))   and   B <= n_min + L
+//
+// (n_min = earliest pending lane event, so every executed event has
+// at >= n_min), all cross-lane arrivals land at >= n_min + L >= B — strictly
+// after the window — which is what lets each lane drain [m, B) without
+// peeking at its neighbours' mailboxes.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace ici::sim {
+
+/// Lookahead window (µs) that is safe for `cfg`'s delivery model. Never
+/// zero: even a degenerate base propagation of 0 keeps windows one tick
+/// wide, which degrades to near-sequential rounds but stays correct.
+[[nodiscard]] inline SimTime lookahead_from(const NetworkConfig& cfg) {
+  const double base = std::floor(cfg.base_propagation_us);
+  return std::max<SimTime>(1, base <= 0.0 ? 0 : static_cast<SimTime>(base));
+}
+
+}  // namespace ici::sim

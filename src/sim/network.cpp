@@ -13,16 +13,21 @@ double distance(const Coord& a, const Coord& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-Network::Network(Simulator& simulator, NetworkConfig cfg)
-    : sim_(simulator), cfg_(cfg), rng_(cfg.seed) {}
+Network::Network(Simulator& simulator, NetworkConfig cfg) : sim_(simulator), cfg_(cfg) {}
 
 NodeId Network::add_node(INode* node, Coord coord, double uplink_bps) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
   NodeSlot slot;
   slot.endpoint = node;
   slot.coord = coord;
   slot.uplink_bps = uplink_bps > 0.0 ? uplink_bps : cfg_.default_uplink_bps;
+  // Golden-ratio stride decorrelates the per-sender streams while keeping
+  // them a pure function of (network seed, node id) — joiner-order
+  // independent and replayable.
+  slot.jitter_rng = ici::Rng(cfg_.seed ^ (0x9E3779B97F4A7C15ULL * (std::uint64_t{id} + 1)));
   nodes_.push_back(slot);
-  return static_cast<NodeId>(nodes_.size() - 1);
+  if (faults_ != nullptr) faults_->ensure_nodes(nodes_.size());
+  return id;
 }
 
 void Network::rebind(NodeId id, INode* node) {
@@ -49,7 +54,7 @@ void Network::deliver(NodeId from, NodeId to, std::size_t wire, const MessagePtr
 }
 
 void Network::schedule_delivery(NodeId from, NodeId to, std::size_t wire, double transfer_us,
-                                MessagePtr msg) {
+                                MessagePtr msg, Simulator::DeliveryBatch* batch) {
   NodeSlot& src = nodes_[from];
   const SimTime start = std::max(sim_.now(), src.uplink_busy_until);
   const SimTime departure = start + static_cast<SimTime>(transfer_us);
@@ -57,24 +62,29 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::size_t wire, double
 
   const double prop =
       cfg_.base_propagation_us + distance(src.coord, nodes_[to].coord) * cfg_.us_per_distance_unit;
-  const double jitter = std::max(0.0, rng_.normal(0.0, cfg_.jitter_stddev_us));
+  const double jitter = std::max(0.0, src.jitter_rng.normal(0.0, cfg_.jitter_stddev_us));
   SimTime arrival = departure + static_cast<SimTime>(prop + jitter);
 
   if (faults_ != nullptr) {
     // The injector rules on every delivery after the sender has paid for the
     // transmission: a dropped message still occupied the uplink. All fault
-    // randomness comes from the injector's own Rng, so the network jitter
-    // stream above is identical with and without a plan installed.
+    // randomness comes from the injector's per-sender Rng, so the network
+    // jitter stream above is identical with and without a plan installed.
     const FaultInjector::SendVerdict verdict = faults_->on_send(from, to, *msg);
     if (verdict.drop) return;  // charged to the sender, lost in flight
     arrival += static_cast<SimTime>(verdict.extra_delay_us);
     if (verdict.duplicate_delay_us >= 0.0) {
-      sim_.at(arrival + static_cast<SimTime>(verdict.duplicate_delay_us),
-              [this, from, to, wire, msg] { deliver(from, to, wire, msg); });
+      sim_.schedule_for_batched(batch, to,
+                                arrival + static_cast<SimTime>(verdict.duplicate_delay_us),
+                                [this, from, to, wire, msg] { deliver(from, to, wire, msg); });
     }
   }
 
-  sim_.at(arrival, [this, from, to, wire, msg = std::move(msg)] { deliver(from, to, wire, msg); });
+  // Deliveries execute as the receiver (its lane under sharding), so the
+  // receive handler mutates receiver-owned state from exactly one thread.
+  sim_.schedule_for_batched(batch, to, arrival, [this, from, to, wire, msg = std::move(msg)] {
+    deliver(from, to, wire, msg);
+  });
 }
 
 void Network::send_impl(NodeId from, NodeId to, MessagePtr msg) {
@@ -89,8 +99,10 @@ void Network::send_impl(NodeId from, NodeId to, MessagePtr msg) {
   src.traffic.bytes_sent += wire;
 
   if (from == to) {
-    // Loopback: no uplink charge beyond accounting, minimal scheduling delay.
-    sim_.after(1, [this, from, to, wire, msg = std::move(msg)] { deliver(from, to, wire, msg); });
+    // Loopback: no uplink charge beyond accounting, minimal scheduling
+    // delay. Still routed as a delivery (same lane: sender == receiver).
+    sim_.schedule_for(to, sim_.now() + 1,
+                      [this, from, to, wire, msg = std::move(msg)] { deliver(from, to, wire, msg); });
     return;
   }
 
@@ -102,6 +114,11 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& to, const Messag
   bool hoisted = false;
   std::size_t wire = 0;
   double transfer_us = 0.0;
+  // Hoist the per-recipient lane resolution out of the loop: when the whole
+  // fan-out lands on one (cross-)lane — the common case for intra-cluster
+  // multicasts — the batch takes that lane's mailbox lock once at scope
+  // exit instead of once per recipient. Inactive outside parallel windows.
+  Simulator::DeliveryBatch batch(sim_, to, from);
   for (NodeId t : to) {
     if (t == from) continue;
     if (!hoisted) {
@@ -120,7 +137,7 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& to, const Messag
     NodeSlot& src = nodes_[from];
     src.traffic.msgs_sent += 1;
     src.traffic.bytes_sent += wire;
-    schedule_delivery(from, t, wire, transfer_us, MessagePtr(msg));
+    schedule_delivery(from, t, wire, transfer_us, MessagePtr(msg), &batch);
   }
 }
 

@@ -133,13 +133,22 @@ class Network {
  private:
   void send_impl(NodeId from, NodeId to, MessagePtr msg);
   /// Computes departure/arrival for one recipient (advancing the sender's
-  /// uplink and drawing the jitter stream in call order) and schedules the
-  /// delivery event. `transfer_us` is hoisted by the caller since it only
-  /// depends on the sender and the wire size.
+  /// uplink and drawing the sender's jitter stream in call order) and
+  /// schedules the delivery event on the *receiver's* lane. `transfer_us`
+  /// is hoisted by the caller since it only depends on the sender and the
+  /// wire size. `batch` (optional) coalesces same-lane mailbox appends
+  /// during sharded fan-outs.
   void schedule_delivery(NodeId from, NodeId to, std::size_t wire, double transfer_us,
-                         MessagePtr msg);
+                         MessagePtr msg, Simulator::DeliveryBatch* batch = nullptr);
   void deliver(NodeId from, NodeId to, std::size_t wire, const MessagePtr& msg);
 
+  /// Per-node slot. Hot fields are touched only from the owning node's
+  /// event lane (uplink_busy_until + jitter_rng by its sends, traffic rx
+  /// by its deliveries), or from sequential contexts (online flips), so
+  /// sharded execution needs no per-slot locking. The jitter stream is
+  /// per-*sender* — splitmix-derived from the network seed and node id —
+  /// so draw order is the sender's send order, invariant under the lane
+  /// count (the old shared stream would interleave nondeterministically).
   struct NodeSlot {
     INode* endpoint = nullptr;
     Coord coord;
@@ -147,11 +156,11 @@ class Network {
     bool online = true;
     SimTime uplink_busy_until = 0;
     NodeTraffic traffic;
+    ici::Rng jitter_rng{0};
   };
 
   Simulator& sim_;
   NetworkConfig cfg_;
-  ici::Rng rng_;
   FaultInjector* faults_ = nullptr;
   std::vector<NodeSlot> nodes_;
 };

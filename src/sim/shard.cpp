@@ -1,0 +1,13 @@
+#include "sim/shard.h"
+
+namespace ici::sim {
+
+namespace {
+std::size_t g_default_shards = 1;
+}  // namespace
+
+void set_default_shards(std::size_t shards) { g_default_shards = shards == 0 ? 1 : shards; }
+
+std::size_t default_shards() { return g_default_shards; }
+
+}  // namespace ici::sim

@@ -3,6 +3,7 @@
 namespace ici {
 
 std::uint32_t HeaderIndex::intern(const BlockHeader& header, const Hash256& hash) {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto [it, inserted] = by_hash_.emplace(hash, static_cast<std::uint32_t>(headers_.size()));
   if (inserted) {
     headers_.push_back(header);
@@ -13,13 +14,30 @@ std::uint32_t HeaderIndex::intern(const BlockHeader& header, const Hash256& hash
 }
 
 std::uint32_t HeaderIndex::slot_of(const Hash256& hash) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = by_hash_.find(hash);
   return it == by_hash_.end() ? kNoSlot : it->second;
 }
 
 std::uint32_t HeaderIndex::slot_at(std::uint64_t height) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = by_height_.find(height);
   return it == by_height_.end() ? kNoSlot : it->second;
+}
+
+const BlockHeader& HeaderIndex::header(std::uint32_t slot) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return headers_[slot];
+}
+
+const Hash256& HeaderIndex::hash(std::uint32_t slot) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return hashes_[slot];
+}
+
+std::size_t HeaderIndex::size() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return headers_.size();
 }
 
 }  // namespace ici

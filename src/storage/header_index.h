@@ -16,13 +16,19 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "chain/block.h"
 
 namespace ici {
 
+/// Thread-safe for concurrent event lanes (sim sharding): all accessors
+/// take an internal mutex, and slot storage is deque-backed so references
+/// returned by header()/hash() stay valid while other lanes intern new
+/// slots. Interning is append-only and idempotent by hash, so the table's
+/// content is order-free — identical for any lane interleaving.
 class HeaderIndex {
  public:
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
@@ -34,20 +40,24 @@ class HeaderIndex {
   [[nodiscard]] std::uint32_t slot_of(const Hash256& hash) const;
   [[nodiscard]] std::uint32_t slot_at(std::uint64_t height) const;
 
-  [[nodiscard]] const BlockHeader& header(std::uint32_t slot) const { return headers_[slot]; }
+  /// The returned reference is stable for the index's lifetime (deque
+  /// elements never move); the lock only orders the access itself against
+  /// concurrent interns.
+  [[nodiscard]] const BlockHeader& header(std::uint32_t slot) const;
   /// The hash the slot was interned under (precomputed — no re-hashing).
-  [[nodiscard]] const Hash256& hash(std::uint32_t slot) const { return hashes_[slot]; }
+  [[nodiscard]] const Hash256& hash(std::uint32_t slot) const;
 
   /// Distinct headers interned — the table's real footprint is size() x
   /// kWireSize regardless of how many nodes reference it.
-  [[nodiscard]] std::size_t size() const { return headers_.size(); }
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t interned_bytes() const {
-    return headers_.size() * BlockHeader::kWireSize;
+    return size() * BlockHeader::kWireSize;
   }
 
  private:
-  std::vector<BlockHeader> headers_;
-  std::vector<Hash256> hashes_;  // parallel to headers_
+  mutable std::mutex mu_;
+  std::deque<BlockHeader> headers_;
+  std::deque<Hash256> hashes_;  // parallel to headers_
   std::unordered_map<Hash256, std::uint32_t, Hash256Hasher> by_hash_;
   std::unordered_map<std::uint64_t, std::uint32_t> by_height_;
 };

@@ -6,12 +6,48 @@
 // protocol machine.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <unordered_map>
 
 #include "storage/block_store.h"
 #include "sync/messages.h"
 
 namespace ici::sync {
+
+/// Per-peer token bucket on the serve side of bulk sync. Each
+/// (server, peer) pair gets a serialization clock: a response of B bytes
+/// occupies the server's uplink to that peer for B / rate seconds of sim
+/// time, and a response arriving while the clock is ahead of `now` is
+/// deferred by the remainder. Stateless protocol on top is untouched — a
+/// throttled server sends the same responses, just later — so a throttled
+/// join resumes bit-identical (tests/test_sync.cpp).
+///
+/// Thread-safe: delay_for is called from serving nodes' event handlers,
+/// which may run on concurrent event lanes (docs/THREADING.md). Each
+/// (server, peer) pair is only ever touched from the server's own lane, so
+/// the mutex just guards the map structure.
+class ServeThrottle {
+ public:
+  explicit ServeThrottle(double rate_bps) : rate_bps_(rate_bps) {}
+
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+
+  /// Sim-time delay (µs) to apply before sending `bytes` from `server` to
+  /// `peer` at sim time `now`; advances the pair's busy-until clock. The
+  /// delay covers the response's own serialization (B / rate) plus any
+  /// backlog already on the clock, so with a rate configured every served
+  /// response is delayed at least its transfer cost.
+  [[nodiscard]] std::uint64_t delay_for(std::uint32_t server, std::uint32_t peer,
+                                        std::uint64_t bytes, std::uint64_t now);
+
+ private:
+  double rate_bps_;
+  std::mutex mu_;
+  // (server << 32 | peer) -> sim time (µs) the pair's uplink is busy until.
+  std::unordered_map<std::uint64_t, std::uint64_t> busy_until_;
+};
 
 /// Builds the frontier answer for `req`. `inventory` is the count of
 /// bodies (replication) or shards (coded) the peer can serve;

@@ -130,6 +130,9 @@ TEST(ObjectArenaTest, ClearKeepsChunksAndReuses) {
 // with this exact configuration. The flattening must not change how many
 // events run, how the queue fills, or what the fleet stores — only where
 // the bytes live. Wall-clock/RSS metrics are exempt by design.
+// peak_pending re-captured for the sharded engine (PR 8): per-sender
+// jitter streams shift individual arrival times, which moves the pending
+// high-water mark while event counts and stored bytes stay put.
 struct SimGolden {
   std::uint64_t seed;
   std::uint64_t events_executed;
@@ -178,8 +181,8 @@ TEST_P(NodeStateBitIdentity, LiveDisseminationMatchesGoldens) {
 
 INSTANTIATE_TEST_SUITE_P(
     TwoSeeds, NodeStateBitIdentity,
-    ::testing::Values(SimGolden{42, 8549, 822, 852, 3'503'600},
-                      SimGolden{7, 8552, 665, 853, 3'492'000}),
+    ::testing::Values(SimGolden{42, 8549, 797, 852, 3'503'600},
+                      SimGolden{7, 8552, 662, 853, 3'492'000}),
     [](const ::testing::TestParamInfo<SimGolden>& info) {
       return "seed" + std::to_string(info.param.seed);
     });

@@ -20,10 +20,12 @@ Chain make_test_chain(std::size_t blocks, std::size_t txs = 8) {
 }
 
 struct IciRig {
-  explicit IciRig(const Chain& chain, std::size_t nodes = 20, std::size_t clusters = 2) {
+  explicit IciRig(const Chain& chain, std::size_t nodes = 20, std::size_t clusters = 2,
+                  double serve_rate_bps = 0.0) {
     core::IciNetworkConfig cfg;
     cfg.node_count = nodes;
     cfg.ici.cluster_count = clusters;
+    cfg.sync_serve_rate_bps = serve_rate_bps;
     net = std::make_unique<core::IciNetwork>(cfg);
     net->init_with_genesis(chain.at_height(0));
     net->preload_chain(chain);
@@ -105,6 +107,59 @@ TEST(Sync, ResumeAfterCrashMatchesUninterrupted) {
   EXPECT_EQ(resumed_node.shards().total_bytes(), clean_node.shards().total_bytes());
   EXPECT_EQ(resumed.sync.headers_committed, clean_report.sync.headers_committed);
   EXPECT_EQ(resumed.sync.bodies_committed, clean_report.sync.bodies_committed);
+}
+
+// Serve-side rate limiting (--sync-serve-rate): a join against throttled
+// servers must be delayed (sync.serve_throttled fires, the join takes
+// longer in sim time) but land in the exact same verified state — same
+// bytes, same ranges, same final store — as the unthrottled join. The
+// token-bucket delay only reorders *when* responses leave, never what they
+// contain.
+TEST(Sync, ThrottledJoinLandsBitIdentical) {
+  const Chain chain = make_test_chain(16);
+
+  IciRig clean(chain);
+  const auto clean_report = core::Bootstrapper::join(*clean.net, {50, 50});
+  ASSERT_TRUE(clean_report.complete);
+  const auto& clean_node = clean.net->node(clean_report.joiner);
+
+  // 1 MB/s of sim time: every response is delayed by its serialization
+  // cost (tens of ms for a range) while staying far inside the sync
+  // timeouts, so nothing is retried — only deferred.
+  IciRig throttled(chain, 20, 2, /*serve_rate_bps=*/1'000'000.0);
+  const auto throttled_report = core::Bootstrapper::join(*throttled.net, {50, 50});
+  ASSERT_TRUE(throttled_report.complete);
+  const auto& throttled_node = throttled.net->node(throttled_report.joiner);
+
+  const auto& counters = throttled.net->metrics().counters();
+  const auto it = counters.find("sync.serve_throttled");
+  ASSERT_TRUE(it != counters.end()) << "throttle never fired";
+  EXPECT_GT(it->second.value(), 0u);
+  EXPECT_GT(throttled_report.sync.time_to_synced_us, clean_report.sync.time_to_synced_us)
+      << "throttled join should be slower in sim time";
+
+  // Same payload, same final verified state.
+  EXPECT_EQ(throttled_report.bytes_downloaded, clean_report.bytes_downloaded);
+  EXPECT_EQ(throttled_report.sync.ranges_committed, clean_report.sync.ranges_committed);
+  EXPECT_EQ(throttled_report.sync.headers_committed, clean_report.sync.headers_committed);
+  EXPECT_EQ(throttled_report.sync.bodies_committed, clean_report.sync.bodies_committed);
+  EXPECT_EQ(throttled_node.store().header_count(), clean_node.store().header_count());
+  EXPECT_EQ(throttled_node.store().block_count(), clean_node.store().block_count());
+  EXPECT_EQ(throttled_node.store().body_bytes(), clean_node.store().body_bytes());
+  EXPECT_EQ(throttled_node.shards().total_bytes(), clean_node.shards().total_bytes());
+
+  // And the throttled run itself is deterministic: an identical rig reruns
+  // to the same timing and per-peer attribution, byte for byte.
+  IciRig rerun(chain, 20, 2, /*serve_rate_bps=*/1'000'000.0);
+  const auto rerun_report = core::Bootstrapper::join(*rerun.net, {50, 50});
+  ASSERT_TRUE(rerun_report.complete);
+  EXPECT_EQ(rerun_report.elapsed_us, throttled_report.elapsed_us);
+  EXPECT_EQ(rerun_report.bytes_downloaded, throttled_report.bytes_downloaded);
+  ASSERT_EQ(rerun_report.sync.by_peer.size(), throttled_report.sync.by_peer.size());
+  for (std::size_t i = 0; i < rerun_report.sync.by_peer.size(); ++i) {
+    EXPECT_EQ(rerun_report.sync.by_peer[i].peer, throttled_report.sync.by_peer[i].peer);
+    EXPECT_EQ(rerun_report.sync.by_peer[i].bytes, throttled_report.sync.by_peer[i].bytes);
+  }
 }
 
 // Differential test against the closed-form byte accounting the old E05

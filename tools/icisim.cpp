@@ -13,6 +13,7 @@
 // run also writes BENCH_icisim.json (ici-bench-v1 schema, see
 // docs/OBSERVABILITY.md) with the config, metric rows, protocol counters,
 // and span aggregates.
+#include <algorithm>
 #include <iostream>
 
 #include "chain/workload.h"
@@ -26,6 +27,7 @@
 #include "metrics/memstats.h"
 #include "obs/bench_report.h"
 #include "sim/faults.h"
+#include "sim/shard.h"
 
 int main(int argc, char** argv) {
   using namespace ici;
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   std::uint64_t sync_range = 16;
   std::uint64_t sync_window = 2;
   std::uint64_t sync_peers = 4;
+  double sync_serve_rate = 0.0;
   std::string clustering = "kmeans";
   BenchOptions opts;
 
@@ -64,7 +67,9 @@ int main(int argc, char** argv) {
   flags.add_uint("sync-range", &sync_range, "bulk-sync blocks per range request");
   flags.add_uint("sync-window", &sync_window, "bulk-sync in-flight requests per peer");
   flags.add_uint("sync-peers", &sync_peers, "bulk-sync parallel pull peers");
-  add_bench_flags(flags, &opts);  // --smoke/--threads/--cpu/--seed/--fault-plan
+  flags.add_double("sync-serve-rate", &sync_serve_rate,
+                   "serve-side bulk-sync rate limit in bytes/s of sim time (0 = off)");
+  add_bench_flags(flags, &opts);  // --smoke/--threads/--cpu/--seed/--fault-plan/--shards
 
   std::string error;
   if (!flags.parse(argc, argv, &error)) {
@@ -73,6 +78,7 @@ int main(int argc, char** argv) {
     return error.empty() ? 0 : 2;
   }
   apply_bench_options(opts, "icisim");
+  sim::set_default_shards(std::max<std::uint64_t>(1, opts.shards));
 
   sim::FaultPlan fault_plan;
   if (!sim::FaultPlan::parse(opts.fault_plan, &fault_plan, &error)) {
@@ -104,6 +110,7 @@ int main(int argc, char** argv) {
   net_cfg.ici.erasure_parity = erasure_parity;
   net_cfg.ici.clustering = clustering;
   net_cfg.seed = seed;
+  net_cfg.sync_serve_rate_bps = sync_serve_rate;
 
   std::unique_ptr<core::IciNetwork> network;
   try {
@@ -125,6 +132,8 @@ int main(int argc, char** argv) {
   report.set_config("clustering", clustering);
   report.set_config("threads", ThreadPool::global().thread_count());
   report.set_config("cpu_backend", std::string(cpu::backend_name()));
+  report.set_config("shards", sim::default_shards());
+  if (sync_serve_rate > 0.0) report.set_config("sync_serve_rate_bps", sync_serve_rate);
   report.set_config("churn", churn);
   if (churn) report.set_config("churn_fraction", churn_fraction);
   if (faults) report.set_config("fault_plan", fault_plan.describe());
