@@ -4,54 +4,81 @@
 
 namespace ici {
 
-bool Mempool::add(Transaction tx) {
+bool Mempool::add(Transaction tx, Amount fee, std::vector<Transaction>* evicted) {
   const Hash256 id = tx.txid();
-  if (by_id_.contains(id)) return false;
-  for (const TxInput& in : tx.inputs()) {
-    if (claimed_.contains(in.prevout)) return false;
+  if (by_id_.contains(id)) {
+    ++stats_.rejected_dup;
+    return false;
   }
+  for (const TxInput& in : tx.inputs()) {
+    if (claimed_.contains(in.prevout)) {
+      ++stats_.rejected_conflict;
+      return false;
+    }
+  }
+
+  const PrioKey key{fee, next_seq_};
+  if (cfg_.capacity > 0) {
+    // Evict strictly-worse entries until the arrival fits; if the worst
+    // pooled entry is at least as good as the arrival, reject the arrival
+    // instead (equal fees favor the incumbent — it was admitted first).
+    while (by_id_.size() >= cfg_.capacity) {
+      const auto worst = std::prev(prio_.end());
+      if (!(key < worst->first)) {
+        ++stats_.rejected_full;
+        return false;
+      }
+      if (evicted != nullptr) evicted->push_back(by_id_.at(worst->second).tx);
+      erase_entry(worst->second);
+      ++stats_.evictions;
+    }
+  }
+
+  ++next_seq_;
   for (const TxInput& in : tx.inputs()) claimed_.insert(in.prevout);
-  order_.push_back(id);
-  by_id_.emplace(id, std::move(tx));
+  prio_.emplace(key, id);
+  by_id_.emplace(id, Entry{std::move(tx), key});
+  ++stats_.accepted;
+  stats_.size_peak = std::max<std::uint64_t>(stats_.size_peak, by_id_.size());
   return true;
 }
 
 std::vector<Transaction> Mempool::take(std::size_t max) {
   std::vector<Transaction> out;
-  out.reserve(std::min(max, order_.size()));
-  while (!order_.empty() && out.size() < max) {
-    const Hash256 id = order_.front();
-    order_.pop_front();
-    const auto it = by_id_.find(id);
-    if (it == by_id_.end()) continue;  // lazily removed
-    out.push_back(std::move(it->second));
+  out.reserve(std::min(max, by_id_.size()));
+  while (!prio_.empty() && out.size() < max) {
+    const auto best = prio_.begin();
+    const auto it = by_id_.find(best->second);
+    out.push_back(std::move(it->second.tx));
     for (const TxInput& in : out.back().inputs()) claimed_.erase(in.prevout);
     by_id_.erase(it);
+    prio_.erase(best);
   }
   return out;
 }
 
-void Mempool::erase_id(const Hash256& txid) {
+void Mempool::erase_entry(const Hash256& txid) {
   const auto it = by_id_.find(txid);
   if (it == by_id_.end()) return;
-  for (const TxInput& in : it->second.inputs()) claimed_.erase(in.prevout);
+  for (const TxInput& in : it->second.tx.inputs()) claimed_.erase(in.prevout);
+  prio_.erase(it->second.key);
   by_id_.erase(it);
-  // order_ entries are removed lazily in take().
 }
 
 void Mempool::remove_confirmed(const std::vector<Transaction>& confirmed) {
   for (const Transaction& tx : confirmed) {
-    erase_id(tx.txid());
+    erase_entry(tx.txid());
     // Also evict pool txs that conflict with the now-spent outpoints.
     for (const TxInput& in : tx.inputs()) {
       if (!claimed_.contains(in.prevout)) continue;
       // Linear scan is acceptable: conflicts are rare in generated workloads.
       for (auto it = by_id_.begin(); it != by_id_.end();) {
         const bool conflicts = std::any_of(
-            it->second.inputs().begin(), it->second.inputs().end(),
+            it->second.tx.inputs().begin(), it->second.tx.inputs().end(),
             [&](const TxInput& other) { return other.prevout == in.prevout; });
         if (conflicts) {
-          for (const TxInput& other : it->second.inputs()) claimed_.erase(other.prevout);
+          for (const TxInput& other : it->second.tx.inputs()) claimed_.erase(other.prevout);
+          prio_.erase(it->second.key);
           it = by_id_.erase(it);
         } else {
           ++it;

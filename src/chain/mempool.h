@@ -1,11 +1,20 @@
 // Transaction mempool: pending transactions awaiting inclusion, with
 // double-spend tracking across the pool so a block builder never assembles
 // conflicting spends.
+//
+// The pool is fee-prioritized and optionally capacity-bounded: take() drains
+// highest fee first (admission order breaks ties, so an all-zero-fee pool
+// behaves exactly like the original FIFO), and when a capacity is configured
+// a full pool deterministically evicts its lowest-fee / latest-admitted
+// entry to make room for a better-paying arrival. Everything is driven by
+// explicit calls — no clocks, no RNG — so a given call sequence produces a
+// bit-identical pool on every run (docs/INGEST.md).
 #pragma once
 
-#include <deque>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "chain/transaction.h"
 
@@ -13,25 +22,70 @@ namespace ici {
 
 class Mempool {
  public:
-  /// Accepts iff no pooled tx already spends one of its inputs and the txid
-  /// is new. Returns false on rejection.
-  bool add(Transaction tx);
+  struct Config {
+    /// Max pooled transactions; 0 = unbounded.
+    std::size_t capacity = 0;
+  };
+
+  /// Monotonic tallies of everything the pool decided; read by the ingest
+  /// pipeline to surface mempool.* counters (docs/INGEST.md).
+  struct Stats {
+    std::uint64_t accepted = 0;       ///< adds that entered the pool
+    std::uint64_t rejected_dup = 0;   ///< txid already pooled
+    std::uint64_t rejected_conflict = 0;  ///< input already claimed
+    std::uint64_t rejected_full = 0;  ///< pool full, fee too low to evict
+    std::uint64_t evictions = 0;      ///< entries displaced by better fees
+    std::uint64_t size_peak = 0;      ///< max pool size ever observed
+  };
+
+  Mempool() = default;
+  explicit Mempool(Config cfg) : cfg_(cfg) {}
+
+  /// Accepts iff the txid is new and no pooled tx already spends one of its
+  /// inputs. At capacity, the arrival must out-pay the worst pooled entry
+  /// (fee desc, admission order asc): the worst entries are evicted into
+  /// `*evicted` (when non-null) until the arrival fits, else it is rejected.
+  /// Returns false on rejection.
+  bool add(Transaction tx, Amount fee = 0, std::vector<Transaction>* evicted = nullptr);
 
   [[nodiscard]] bool contains(const Hash256& txid) const { return by_id_.contains(txid); }
-  [[nodiscard]] std::size_t size() const { return order_.size(); }
-  [[nodiscard]] bool empty() const { return order_.empty(); }
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] bool empty() const { return by_id_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return cfg_.capacity; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  /// Removes and returns up to `max` transactions in arrival order.
+  /// Removes and returns up to `max` transactions, best-paying first
+  /// (ties: admission order). With all fees equal this is arrival order.
   [[nodiscard]] std::vector<Transaction> take(std::size_t max);
 
   /// Drops any pooled tx confirmed by (or conflicting with) the block's txs.
   void remove_confirmed(const std::vector<Transaction>& confirmed);
 
  private:
-  void erase_id(const Hash256& txid);
+  /// Priority key: higher fee first, then earlier admission. Ordered so the
+  /// *first* map entry is the best take() candidate and the *last* is the
+  /// eviction victim.
+  struct PrioKey {
+    Amount fee = 0;
+    std::uint64_t seq = 0;
+    bool operator<(const PrioKey& o) const {
+      if (fee != o.fee) return fee > o.fee;
+      return seq < o.seq;
+    }
+  };
 
-  std::deque<Hash256> order_;
-  std::unordered_map<Hash256, Transaction, Hash256Hasher> by_id_;
+  struct Entry {
+    Transaction tx;
+    PrioKey key;
+  };
+
+  void erase_entry(const Hash256& txid);
+
+  Config cfg_;
+  Stats stats_;
+  std::uint64_t next_seq_ = 0;
+  std::map<PrioKey, Hash256> prio_;
+  std::unordered_map<Hash256, Entry, Hash256Hasher> by_id_;
   std::unordered_set<OutPoint, OutPointHasher> claimed_;
 };
 

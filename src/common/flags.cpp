@@ -136,6 +136,12 @@ void add_bench_flags(FlagParser& parser, BenchOptions* opts) {
   parser.add_uint("shards", &opts->shards,
                   "event shards (parallel simulator lanes); sim metrics are "
                   "bit-identical for any value (docs/SIMULATOR.md)");
+  parser.add_double("tx-rate", &opts->tx_rate,
+                    "offered client load in tx/s of sim time for ingest-driven "
+                    "runs (0 = binary default; docs/INGEST.md)");
+  parser.add_uint("mempool-cap", &opts->mempool_cap,
+                  "mempool capacity for ingest-driven runs, lowest-fee-first "
+                  "eviction when full (0 = binary default)");
 }
 
 std::size_t apply_bench_options(const BenchOptions& opts, const std::string& program) {

@@ -64,6 +64,13 @@ struct BenchOptions {
   /// sim::set_default_shards by the sim-linking callers (bench_util's
   /// parse_bench_options, icisim) — common/ cannot depend on sim/.
   std::uint64_t shards = 1;
+  /// Offered client load in tx/s of simulated time for the ingest-driven
+  /// runs (docs/INGEST.md). 0 = the binary's default (exp23 sweeps a
+  /// built-in ladder).
+  double tx_rate = 0.0;
+  /// Mempool capacity for the ingest-driven runs (0 = the binary's
+  /// default; lowest-fee-first eviction once full).
+  std::uint64_t mempool_cap = 0;
 };
 
 /// Registers the shared bench flags on `parser`, bound to `*opts`.

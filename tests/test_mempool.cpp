@@ -96,5 +96,95 @@ TEST(Mempool, RemoveConfirmedIgnoresUnknown) {
   EXPECT_EQ(pool.size(), 1u);
 }
 
+// --- fee priority and bounded capacity (docs/INGEST.md) ----------------------
+
+TEST(Mempool, TakeDrainsBestFeeFirst) {
+  Mempool pool;
+  const Transaction low = make_tx(1, 1);
+  const Transaction high = make_tx(2, 1);
+  const Transaction mid = make_tx(3, 1);
+  pool.add(low, 1);
+  pool.add(high, 9);
+  pool.add(mid, 5);
+  const auto taken = pool.take(3);
+  ASSERT_EQ(taken.size(), 3u);
+  EXPECT_EQ(taken[0].txid(), high.txid());
+  EXPECT_EQ(taken[1].txid(), mid.txid());
+  EXPECT_EQ(taken[2].txid(), low.txid());
+}
+
+TEST(Mempool, EqualFeesKeepArrivalOrder) {
+  Mempool pool;
+  const Transaction a = make_tx(1, 1);
+  const Transaction b = make_tx(2, 1);
+  pool.add(a, 7);
+  pool.add(b, 7);
+  const auto taken = pool.take(2);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].txid(), a.txid());
+  EXPECT_EQ(taken[1].txid(), b.txid());
+}
+
+TEST(Mempool, CapacityEvictsLowestFee) {
+  Mempool pool(Mempool::Config{.capacity = 2});
+  const Transaction low = make_tx(1, 1);
+  pool.add(low, 1);
+  pool.add(make_tx(2, 1), 5);
+  std::vector<Transaction> evicted;
+  EXPECT_TRUE(pool.add(make_tx(3, 1), 9, &evicted));
+  EXPECT_EQ(pool.size(), 2u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].txid(), low.txid());
+  EXPECT_FALSE(pool.contains(low.txid()));
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  // The evicted tx's input is spendable again.
+  EXPECT_TRUE(pool.add(make_tx(1, 2), 9));
+}
+
+TEST(Mempool, FullPoolRejectsFeeThatCannotEvict) {
+  Mempool pool(Mempool::Config{.capacity = 2});
+  pool.add(make_tx(1, 1), 5);
+  pool.add(make_tx(2, 1), 5);
+  // Equal fee loses to the incumbents (later admission = worse key).
+  EXPECT_FALSE(pool.add(make_tx(3, 1), 5));
+  EXPECT_FALSE(pool.add(make_tx(4, 1), 1));
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.stats().rejected_full, 2u);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+}
+
+TEST(Mempool, StatsTrackDecisions) {
+  Mempool pool(Mempool::Config{.capacity = 2});
+  const Transaction a = make_tx(1, 1);
+  pool.add(a, 1);
+  pool.add(a, 1);            // dup
+  pool.add(make_tx(1, 2), 1);  // conflict (same outpoint)
+  pool.add(make_tx(2, 1), 2);
+  pool.add(make_tx(3, 1), 9);  // evicts a
+  const Mempool::Stats& s = pool.stats();
+  EXPECT_EQ(s.accepted, 3u);
+  EXPECT_EQ(s.rejected_dup, 1u);
+  EXPECT_EQ(s.rejected_conflict, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.size_peak, 2u);
+}
+
+TEST(Mempool, ZeroFeePoolMatchesFifo) {
+  // Back-compat: default-fee adds behave exactly like the original FIFO
+  // pool, so pre-priority callers see identical behaviour.
+  Mempool pool;
+  std::vector<Hash256> order;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    const Transaction tx = make_tx(i, 1);
+    order.push_back(tx.txid());
+    pool.add(tx);
+  }
+  for (const Hash256& expected : order) {
+    const auto taken = pool.take(1);
+    ASSERT_EQ(taken.size(), 1u);
+    EXPECT_EQ(taken[0].txid(), expected);
+  }
+}
+
 }  // namespace
 }  // namespace ici

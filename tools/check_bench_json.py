@@ -250,6 +250,55 @@ def check_file(path):
             if name not in doc["distributions"]:
                 fail(path, f"distributions: missing '{name}'")
 
+    # exp23 (transaction ingestion): the artifact must say what offered load,
+    # mempool bound, and user population it ran (config.tx_rate /
+    # config.mempool_cap / config.users / config.nodes), every per-rate row
+    # must name its strategy and carry the throughput/latency measurements,
+    # and the aggregated ingest.* counter block must be present — or the
+    # sustained-tx/s-at-saturation claim in EXPERIMENTS.md has nothing
+    # backing it.
+    if doc["name"] == "exp23_ingest":
+        tx_rate = doc["config"].get("tx_rate")
+        if (not isinstance(tx_rate, (int, float)) or isinstance(tx_rate, bool)
+                or tx_rate <= 0):
+            fail(path, f"config.tx_rate: expected positive number (got {tx_rate!r})")
+        for key in ("mempool_cap", "users", "nodes"):
+            v = doc["config"].get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                fail(path, f"config.{key}: expected integer >= 1 (got {v!r})")
+        for i, row in enumerate(doc["rows"]):
+            if not row["label"].startswith("rate="):
+                continue
+            values = row["values"]
+            strategy = values.get("strategy")
+            if not isinstance(strategy, str) or not strategy:
+                fail(path, f"rows[{i}].values['strategy']: expected non-empty "
+                           f"string (got {strategy!r})")
+            for key in ("offered_tps", "sustained_tps"):
+                v = values.get(key)
+                if (not isinstance(v, (int, float)) or isinstance(v, bool)
+                        or v <= 0):
+                    fail(path, f"rows[{i}].values['{key}']: expected positive "
+                               f"number (got {v!r})")
+            for key in ("submit_commit_p50_us", "submit_commit_p99_us"):
+                v = values.get(key)
+                if (not isinstance(v, (int, float)) or isinstance(v, bool)
+                        or v < 0):
+                    fail(path, f"rows[{i}].values['{key}']: expected "
+                               f"non-negative number (got {v!r})")
+        INGEST_COUNTERS = ("ingest.submitted", "ingest.accepted",
+                           "ingest.deduped", "ingest.rejected_backpressure",
+                           "ingest.prescreen_failed", "ingest.batches",
+                           "ingest.batch_occupancy_pct", "mempool.evictions",
+                           "mempool.size_peak")
+        for name in INGEST_COUNTERS:
+            if name not in doc["counters"]:
+                fail(path, f"counters: missing '{name}'")
+        for name in ("ingest.submitted", "ingest.accepted", "ingest.batches"):
+            if doc["counters"][name] < 1:
+                fail(path, f"counters['{name}']: expected >= 1 "
+                           f"(got {doc['counters'][name]!r})")
+
     for name, value in doc["counters"].items():
         if not isinstance(value, int) or isinstance(value, bool):
             fail(path, f"counters['{name}']: expected integer")
