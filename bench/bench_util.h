@@ -22,6 +22,7 @@
 #include "obs/bench_report.h"
 #include "sim/shard.h"
 #include "storage/storage_meter.h"
+#include "storage/store_metrics.h"
 
 namespace ici::bench {
 
@@ -35,6 +36,24 @@ inline void print_experiment_header(const std::string& id, const std::string& ti
 /// one place, so a new shared flag registers once.
 using ici::BenchOptions;
 
+/// The --store value of the current run, stamped into every artifact as
+/// config.store_backend (set by parse_bench_options, read by
+/// record_thread_config — same process-global pattern as the shard count).
+inline std::string& current_store_backend() {
+  static std::string backend = "mem";
+  return backend;
+}
+
+/// Translates the shared --store/--io-write-us/--io-read-us flags into the
+/// StoreConfig embedded in facade configs and core::StrategyConfig.
+inline StoreConfig store_config_from(const BenchOptions& opts) {
+  StoreConfig cfg;
+  cfg.backend = opts.store;
+  cfg.io_write_us = opts.io_write_us;
+  cfg.io_read_us = opts.io_read_us;
+  return cfg;
+}
+
 inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view name) {
   BenchOptions opts = parse_bench_options_or_exit(
       argc, argv, std::string(name),
@@ -43,7 +62,34 @@ inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view 
   // --shards routes through sim/ (a layer common/flags.cpp cannot link):
   // every facade built after this picks the lane count up as its default.
   sim::set_default_shards(std::max<std::uint64_t>(1, opts.shards));
+  current_store_backend() = opts.store;
   return opts;
+}
+
+/// Attaches summed storage-backend tallies to the artifact as the store.*
+/// counter block (docs/STORAGE.md). Storage-sensitive benches call this so
+/// their --store disk captures carry the backend instrumentation the schema
+/// checker requires (tools/check_bench_json.py).
+inline void add_store_counters(obs::BenchReport& report, const StoreCounters& t) {
+  report.add_counter("store.puts", t.puts);
+  report.add_counter("store.dup_puts", t.dup_puts);
+  report.add_counter("store.staged_puts", t.staged_puts);
+  report.add_counter("store.wq_enqueued", t.wq_enqueued);
+  report.add_counter("store.wq_retired", t.wq_retired);
+  report.add_counter("store.wq_depth", t.wq_depth);
+  report.add_counter("store.wq_depth_peak", t.wq_depth_peak);
+  report.add_counter("store.warm_reads", t.warm_reads);
+  report.add_counter("store.cold_reads", t.cold_reads);
+  report.add_counter("store.cold_read_bytes", t.cold_read_bytes);
+  report.add_counter("store.segments", t.segments);
+  report.add_counter("store.segment_bytes", t.segment_bytes);
+  report.add_counter("store.appended_bytes", t.appended_bytes);
+  report.add_counter("store.tombstones", t.tombstones);
+  report.add_counter("store.compactions", t.compactions);
+  report.add_counter("store.reclaimed_bytes", t.reclaimed_bytes);
+  report.add_counter("store.manifest_writes", t.manifest_writes);
+  report.add_counter("store.recovered_blocks", t.recovered_blocks);
+  report.add_counter("store.truncated_tail_bytes", t.truncated_tail_bytes);
 }
 
 /// Stamps the pool size and CPU dispatch tier every ici-bench-v1 artifact
@@ -53,6 +99,7 @@ inline void record_thread_config(obs::BenchReport& report) {
   report.set_config("threads", ThreadPool::global().thread_count());
   report.set_config("cpu_backend", std::string(cpu::backend_name()));
   report.set_config("shards", sim::default_shards());
+  report.set_config("store_backend", current_store_backend());
 }
 
 /// Stamps process memory counters: sim.rss_bytes / sim.peak_rss_bytes always
@@ -104,11 +151,13 @@ inline Chain make_chain(std::size_t blocks, std::size_t txs_per_block,
 inline std::unique_ptr<core::IciNetwork> make_ici_preloaded(const Chain& chain,
                                                             std::size_t nodes,
                                                             std::size_t clusters,
-                                                            std::size_t replication = 1) {
+                                                            std::size_t replication = 1,
+                                                            const StoreConfig& store = {}) {
   core::IciNetworkConfig cfg;
   cfg.node_count = nodes;
   cfg.ici.cluster_count = clusters;
   cfg.ici.replication = replication;
+  cfg.store = store;
   auto net = std::make_unique<core::IciNetwork>(cfg);
   net->init_with_genesis(chain.at_height(0));
   net->preload_chain(chain);
@@ -116,21 +165,24 @@ inline std::unique_ptr<core::IciNetwork> make_ici_preloaded(const Chain& chain,
 }
 
 inline std::unique_ptr<baseline::RapidChainNetwork> make_rapidchain_preloaded(
-    const Chain& chain, std::size_t nodes, std::size_t committees) {
+    const Chain& chain, std::size_t nodes, std::size_t committees,
+    const StoreConfig& store = {}) {
   baseline::RapidChainConfig cfg;
   cfg.node_count = nodes;
   cfg.committee_count = committees;
+  cfg.store = store;
   auto net = std::make_unique<baseline::RapidChainNetwork>(cfg);
   net->init_with_genesis(chain.at_height(0));
   net->preload_chain(chain);
   return net;
 }
 
-inline std::unique_ptr<baseline::FullRepNetwork> make_fullrep_preloaded(const Chain& chain,
-                                                                        std::size_t nodes) {
+inline std::unique_ptr<baseline::FullRepNetwork> make_fullrep_preloaded(
+    const Chain& chain, std::size_t nodes, const StoreConfig& store = {}) {
   baseline::FullRepConfig cfg;
   cfg.node_count = nodes;
   cfg.validate = false;  // storage-only runs skip the N UTXO copies
+  cfg.store = store;
   auto net = std::make_unique<baseline::FullRepNetwork>(cfg);
   net->init_with_genesis(chain.at_height(0));
   net->preload_chain(chain);

@@ -36,10 +36,13 @@ int main(int argc, char** argv) {
 
   Table table({"m", "k", "local hits", "remote p50 (ms)", "remote p99 (ms)", "misses",
                "timeouts", "not found"});
+  StoreCounters store_totals;
   for (const std::size_t m : cluster_sizes) {
     const std::size_t k = kNodes / m;
-    auto net = make_ici_preloaded(chain, kNodes, k);
+    auto net = make_ici_preloaded(chain, kNodes, k, /*replication=*/1,
+                                  store_config_from(opts));
     const core::RetrievalStats stats = core::RetrievalDriver::run(*net, kFetches, 99);
+    store_totals += sum_store_counters(net->stores());
 
     table.row({std::to_string(m), std::to_string(k), std::to_string(stats.local_hits),
                format_double(stats.latency_us.p50() / 1000, 2),
@@ -57,6 +60,10 @@ int main(int argc, char** argv) {
         .set("timeouts", stats.timeouts)
         .set("not_found", stats.not_found);
   }
+  // Disk-backed runs (--store disk) attach the backend instrumentation the
+  // schema checker requires on such captures.
+  if (opts.store == "disk") add_store_counters(report, store_totals);
+
   table.print(std::cout);
   std::cout << "\nExpected shape: local-hit probability ~r/m falls with m, but the remote "
                "fetch stays ~one intra-cluster RTT + body transfer. Full replication always "

@@ -360,6 +360,9 @@ int main(int argc, char** argv) {
   report.set_config("benchmark_min_time_s", smoke ? 0.01 : 0.5);
   report.set_config("threads", ThreadPool::global().thread_count());
   report.set_config("shards", ici::sim::default_shards());
+  // Primitive microbenches build no block store; record the default backend
+  // so the artifact satisfies the uniform ici-bench-v1 config schema.
+  report.set_config("store_backend", "mem");
   // Requested tier plus the effective per-primitive kernels (the selection
   // intersected with what this CPU actually supports).
   report.set_config("cpu_backend", std::string(ici::cpu::backend_name()));

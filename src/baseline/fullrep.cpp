@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "sim/lbts.h"
 #include "sim/shard.h"
+#include "storage/store_metrics.h"
 #include "sync/driver.h"
 #include "sync/serve.h"
 
@@ -25,7 +26,7 @@ void FullRepNode::seed_genesis(std::shared_ptr<const Block> genesis) {
   if (ctx_.config().validate) {
     for (const Transaction& tx : genesis->txs()) utxo_.apply_tx(tx, 0);
   }
-  store_.put_block(std::move(genesis), h);
+  store_.put(HashedBlock(std::move(genesis), h));
 }
 
 void FullRepNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
@@ -43,9 +44,16 @@ void FullRepNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
     return;
   }
   if (const auto* get = dynamic_cast<const GetDataMsg*>(msg.get())) {
-    if (auto block = store_.block_ptr(get->hash)) {
+    if (BlockRef ref = store_.block_by_hash(get->hash)) {
       auto resp = std::make_shared<GossipBlockMsg>();
-      resp->block = std::move(block);
+      resp->block = ref.share();
+      if (ref.io_delay_us > 0) {
+        // Cold read: the response leaves once the body is off the media.
+        ctx_.simulator().after(ref.io_delay_us, [this, from, resp = std::move(resp)] {
+          ctx_.network().send(id_, from, resp);
+        });
+        return;
+      }
       ctx_.network().send(id_, from, std::move(resp));
     }
     return;
@@ -56,16 +64,26 @@ void FullRepNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
   }
   if (const auto* sync = dynamic_cast<const SyncRequestMsg*>(msg.get())) {
     auto resp = std::make_shared<SyncResponseMsg>();
+    std::uint64_t io_delay = 0;
     for (std::uint64_t h = sync->from_height;; ++h) {
       const auto header = store_.header_at(h);
       if (!header) break;
-      if (auto block = store_.block_ptr(header->hash())) resp->blocks.push_back(std::move(block));
+      if (BlockRef ref = store_.block_by_hash(header->hash())) {
+        io_delay += ref.io_delay_us;
+        resp->blocks.push_back(ref.share());
+      }
+    }
+    if (io_delay > 0) {
+      ctx_.simulator().after(io_delay, [this, from, resp = std::move(resp)] {
+        ctx_.network().send(id_, from, resp);
+      });
+      return;
     }
     ctx_.network().send(id_, from, std::move(resp));
     return;
   }
   if (const auto* resp = dynamic_cast<const SyncResponseMsg*>(msg.get())) {
-    for (const auto& block : resp->blocks) store_.put_block(block);
+    for (const auto& block : resp->blocks) store_.put(HashedBlock(block));
     if (sync_done_) {
       auto done = std::move(sync_done_);
       sync_done_ = nullptr;
@@ -101,7 +119,7 @@ void FullRepNode::accept_block(std::shared_ptr<const Block> block, sim::NodeId f
     ctx_.metrics().counter("fullrep.validated").inc();
   }
 
-  store_.put_block(block, hash);
+  store_.put(HashedBlock(block, hash));
   ctx_.note_stored(id_, hash);
   announce(hash, from);
 }
@@ -146,7 +164,8 @@ void FullRepNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage&
     }
     case sync::SyncMsgKind::kRangeRequest: {
       const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
-      send_sync_response(from, sync::serve_range(store_, req));
+      sync::ServedRange served = sync::serve_range(store_, req);
+      send_sync_response(from, std::move(served.msg), served.io_delay_us);
       break;
     }
     case sync::SyncMsgKind::kFrontierResponse:
@@ -156,18 +175,21 @@ void FullRepNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage&
   }
 }
 
-void FullRepNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg) {
+void FullRepNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg,
+                                     std::uint64_t io_delay_us) {
+  std::uint64_t delay = io_delay_us;
   sync::ServeThrottle* throttle = ctx_.serve_throttle();
   if (throttle != nullptr) {
-    const std::uint64_t delay =
+    const std::uint64_t t =
         throttle->delay_for(id_, to, msg->wire_size(), ctx_.simulator().now());
-    if (delay > 0) {
-      ctx_.metrics().counter("sync.serve_throttled").inc();
-      ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
-        ctx_.network().send(id_, to, msg);
-      });
-      return;
-    }
+    if (t > 0) ctx_.metrics().counter("sync.serve_throttled").inc();
+    delay += t;
+  }
+  if (delay > 0) {
+    ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
+      ctx_.network().send(id_, to, msg);
+    });
+    return;
   }
   ctx_.network().send(id_, to, std::move(msg));
 }
@@ -183,13 +205,13 @@ std::size_t FullRepNode::sync_message_overhead() const {
 }
 
 void FullRepNode::sync_commit_header(const BlockHeader& header, const Hash256& hash) {
-  store_.put_header(header, hash);
+  store_.put(StoredBlock::header_only(header, hash));
 }
 
 void FullRepNode::sync_commit_body(const std::shared_ptr<const Block>& block) {
   // Bulk sync installs without re-validating (the ranges were Merkle- and
   // linkage-checked); the legacy one-shot path behaved the same.
-  store_.put_block(block);
+  store_.put(HashedBlock(block));
 }
 
 std::vector<sim::NodeId> FullRepNode::sync_body_candidates(const Hash256&,
@@ -215,6 +237,7 @@ FullRepNetwork::FullRepNetwork(FullRepConfig cfg) : cfg_(cfg) {
   }
   if (cfg_.sync_serve_rate_bps > 0.0)
     serve_throttle_ = std::make_unique<sync::ServeThrottle>(cfg_.sync_serve_rate_bps);
+  store_runtime_ = std::make_unique<StoreRuntime>(cfg_.store);
 
   const auto infos =
       cluster::generate_topology(cfg_.node_count, cfg_.regions, cfg_.seed, 100.0, false);
@@ -228,6 +251,7 @@ FullRepNetwork::FullRepNetwork(FullRepConfig cfg) : cfg_(cfg) {
     coords_.push_back(info.coord);
     if (shards_ > 1)
       sim_.set_node_lane(info.id, sim::contiguous_lane(info.id, cfg_.node_count, shards_));
+    install_backend(node, info.id);
   }
 
   // Random connected-ish peer graph: a ring (guarantees connectivity) plus
@@ -252,6 +276,18 @@ FullRepNetwork::FullRepNetwork(FullRepConfig cfg) : cfg_(cfg) {
 
 FullRepNetwork::~FullRepNetwork() = default;
 
+void FullRepNetwork::install_backend(FullRepNode& node, sim::NodeId id) {
+  std::unique_ptr<StorageBackend> backend = store_runtime_->make_backend(id);
+  if (!backend) return;
+  IoEnv env;
+  env.now = [this] { return sim_.now(); };
+  env.schedule_at = [this, id](std::uint64_t at, std::function<void()> fn) {
+    sim_.schedule_for(id, at, std::move(fn));
+  };
+  backend->set_io_env(std::move(env));
+  node.store().set_backend(std::move(backend));
+}
+
 const std::vector<sim::NodeId>& FullRepNetwork::peers(sim::NodeId id) const {
   return peers_.at(id);
 }
@@ -273,6 +309,7 @@ sim::SimTime FullRepNetwork::disseminate_and_settle(const Block& block) {
   sim_.run();
   metrics::sync_sim_counters(metrics_, sim_);
   if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+  if (store_runtime_->disk()) sync_store_counters(metrics_, stores());
 
   const Spread& spread = spreads_.at(hash);
   if (spread.finished == 0) return 0;  // did not reach everyone
@@ -320,7 +357,8 @@ void FullRepNetwork::preload_chain(const Chain& chain) {
   for (std::size_t h = 1; h < chain.blocks().size(); ++h) {
     auto shared = std::make_shared<const Block>(chain.blocks()[h]);
     const Hash256 hash = shared->hash();
-    for (std::size_t i = 0; i < nodes_.size(); ++i) nodes_[i].store().put_block(shared, hash);
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      nodes_[i].store().put(HashedBlock(shared, hash));
   }
 }
 
@@ -331,6 +369,7 @@ sim::NodeId FullRepNetwork::add_sync_joiner(sim::Coord coord) {
   const sim::NodeId id = net_->add_node(&node, coord);
   coords_.push_back(coord);
   if (shards_ > 1) sim_.set_node_lane(id, sim::contiguous_lane(id, cfg_.node_count, shards_));
+  install_backend(node, id);
 
   // Connect the joiner to its peer_degree nearest nodes — the pull peers of
   // the multi-peer bulk sync (the old path hung off a single neighbour).
@@ -386,6 +425,14 @@ void FullRepNetwork::run_for(sim::SimTime us) {
   sim_.run_until(sim_.now() + us);
   metrics::sync_sim_counters(metrics_, sim_);
   if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+  if (store_runtime_->disk()) sync_store_counters(metrics_, stores());
+}
+
+void FullRepNetwork::settle() {
+  sim_.run();
+  metrics::sync_sim_counters(metrics_, sim_);
+  if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+  if (store_runtime_->disk()) sync_store_counters(metrics_, stores());
 }
 
 std::vector<const BlockStore*> FullRepNetwork::stores() const {

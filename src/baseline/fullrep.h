@@ -21,6 +21,7 @@
 #include "storage/block_store.h"
 #include "storage/fleet_tally.h"
 #include "storage/header_index.h"
+#include "storage/store_runtime.h"
 #include "sync/serve.h"
 #include "sync/session.h"
 
@@ -41,6 +42,8 @@ struct FullRepConfig {
   std::size_t shards = 0;
   /// Serve-side bulk-sync rate limit in bytes/s of sim time; 0 = off.
   double sync_serve_rate_bps = 0.0;
+  /// Body-persistence backend per node (--store); mem changes nothing.
+  StoreConfig store;
 };
 
 // -- wire messages ----------------------------------------------------------
@@ -120,7 +123,8 @@ class FullRepNode final : public sim::INode, private sync::BulkPullSession::Env 
 
   // -- streaming sync (sync::BulkPullSession::Env + serving) -------------
   void handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg);
-  void send_sync_response(sim::NodeId to, sim::MessagePtr msg);
+  void send_sync_response(sim::NodeId to, sim::MessagePtr msg,
+                          std::uint64_t io_delay_us = 0);
   [[nodiscard]] sim::NodeId sync_self() const override { return id_; }
   [[nodiscard]] sim::Simulator& sync_simulator() override;
   void sync_send(sim::NodeId to, sim::MessagePtr msg) override;
@@ -207,6 +211,10 @@ class FullRepNetwork {
   /// Runs the simulator for `us` of simulated time and refreshes counters.
   void run_for(sim::SimTime us);
 
+  /// Runs the simulator until quiescent and refreshes counters (retires any
+  /// in-flight disk appends after a preload, among other things).
+  void settle();
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] sim::Network& network() { return *net_; }
   [[nodiscard]] metrics::Registry& metrics() { return metrics_; }
@@ -233,14 +241,17 @@ class FullRepNetwork {
  private:
   void note_stored_now(const Hash256& hash, sim::SimTime at);
   void flush_deferred_stores();
+  void install_backend(FullRepNode& node, sim::NodeId id);
 
   FullRepConfig cfg_;
   std::size_t shards_ = 1;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
-  // Shared header snapshot + SoA tallies outlive the nodes bound to them.
+  // Shared header snapshot + SoA tallies outlive the nodes bound to them;
+  // the store runtime owns the on-disk root the backends write under.
   std::shared_ptr<HeaderIndex> header_index_ = std::make_shared<HeaderIndex>();
   FleetTally fleet_tally_;
+  std::unique_ptr<StoreRuntime> store_runtime_;
   ObjectArena<FullRepNode> nodes_;
   std::unique_ptr<sim::FaultInjector> faults_;  // after net_: hook uninstall order
   std::vector<std::vector<sim::NodeId>> peers_;

@@ -7,7 +7,7 @@ void PrunedNode::apply(const std::shared_ptr<const Block>& block) {
   for (const Transaction& tx : block->txs()) {
     utxo_.apply_tx(tx, block->header().height);
   }
-  store_.put_block(block, hash);
+  store_.put(HashedBlock(block, hash));
   body_order_.push_back(hash);
   while (body_order_.size() > window_) {
     store_.prune_block(body_order_.front());

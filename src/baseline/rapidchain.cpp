@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "sim/lbts.h"
 #include "sim/shard.h"
+#include "storage/store_metrics.h"
 #include "sync/driver.h"
 #include "sync/serve.h"
 
@@ -31,14 +32,24 @@ void RapidChainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
   }
   if (dynamic_cast<const ShardRequestMsg*>(msg.get()) != nullptr) {
     auto resp = std::make_shared<ShardResponseMsg>();
+    std::uint64_t io_delay = 0;
     for (const Hash256& h : store_.stored_hashes()) {
-      if (auto block = store_.block_ptr(h)) resp->blocks.push_back(std::move(block));
+      if (BlockRef ref = store_.block_by_hash(h)) {
+        io_delay += ref.io_delay_us;
+        resp->blocks.push_back(ref.share());
+      }
+    }
+    if (io_delay > 0) {
+      ctx_.simulator().after(io_delay, [this, from, resp = std::move(resp)] {
+        ctx_.network().send(id_, from, resp);
+      });
+      return;
     }
     ctx_.network().send(id_, from, std::move(resp));
     return;
   }
   if (const auto* resp = dynamic_cast<const ShardResponseMsg*>(msg.get())) {
-    for (const auto& block : resp->blocks) store_.put_block(block);
+    for (const auto& block : resp->blocks) store_.put(HashedBlock(block));
     if (sync_done_) {
       auto done = std::move(sync_done_);
       sync_done_ = nullptr;
@@ -51,7 +62,7 @@ void RapidChainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
 void RapidChainNode::lead_dissemination(std::shared_ptr<const Block> block) {
   const Hash256 hash = block->hash();
   const std::size_t total = block->serialized_size();
-  store_.put_block(block, hash);
+  store_.put(HashedBlock(block, hash));
   ctx_.note_stored(id_, hash);
 
   const auto& members = ctx_.committee_members(committee_);
@@ -105,7 +116,7 @@ void RapidChainNode::receive_chunk(const ChunkMsg& msg, sim::NodeId from) {
   if (!re.complete && re.chunks.size() >= re.needed) {
     re.complete = true;
     if (auto block = ctx_.pending_block(msg.block_hash)) {
-      store_.put_block(block, msg.block_hash);
+      store_.put(HashedBlock(std::move(block), msg.block_hash));
       ctx_.note_stored(id_, msg.block_hash);
     }
   }
@@ -141,7 +152,8 @@ void RapidChainNode::handle_sync_message(sim::NodeId from, const sync::SyncMessa
     }
     case sync::SyncMsgKind::kRangeRequest: {
       const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
-      send_sync_response(from, sync::serve_range(store_, req));
+      sync::ServedRange served = sync::serve_range(store_, req);
+      send_sync_response(from, std::move(served.msg), served.io_delay_us);
       break;
     }
     case sync::SyncMsgKind::kFrontierResponse:
@@ -151,18 +163,21 @@ void RapidChainNode::handle_sync_message(sim::NodeId from, const sync::SyncMessa
   }
 }
 
-void RapidChainNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg) {
+void RapidChainNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg,
+                                        std::uint64_t io_delay_us) {
+  std::uint64_t delay = io_delay_us;
   sync::ServeThrottle* throttle = ctx_.serve_throttle();
   if (throttle != nullptr) {
-    const std::uint64_t delay =
+    const std::uint64_t t =
         throttle->delay_for(id_, to, msg->wire_size(), ctx_.simulator().now());
-    if (delay > 0) {
-      ctx_.metrics().counter("sync.serve_throttled").inc();
-      ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
-        ctx_.network().send(id_, to, msg);
-      });
-      return;
-    }
+    if (t > 0) ctx_.metrics().counter("sync.serve_throttled").inc();
+    delay += t;
+  }
+  if (delay > 0) {
+    ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
+      ctx_.network().send(id_, to, msg);
+    });
+    return;
   }
   ctx_.network().send(id_, to, std::move(msg));
 }
@@ -178,7 +193,7 @@ std::size_t RapidChainNode::sync_message_overhead() const {
 }
 
 void RapidChainNode::sync_commit_header(const BlockHeader& header, const Hash256& hash) {
-  store_.put_header(header, hash);
+  store_.put(StoredBlock::header_only(header, hash));
 }
 
 bool RapidChainNode::sync_wants_body(const Hash256& hash, std::uint64_t /*height*/) {
@@ -189,7 +204,7 @@ bool RapidChainNode::sync_wants_body(const Hash256& hash, std::uint64_t /*height
 }
 
 void RapidChainNode::sync_commit_body(const std::shared_ptr<const Block>& block) {
-  store_.put_block(block);
+  store_.put(HashedBlock(block));
 }
 
 std::vector<sim::NodeId> RapidChainNode::sync_body_candidates(const Hash256& hash,
@@ -217,6 +232,7 @@ RapidChainNetwork::RapidChainNetwork(RapidChainConfig cfg) : cfg_(cfg) {
   }
   if (cfg_.sync_serve_rate_bps > 0.0)
     serve_throttle_ = std::make_unique<sync::ServeThrottle>(cfg_.sync_serve_rate_bps);
+  store_runtime_ = std::make_unique<StoreRuntime>(cfg_.store);
 
   const auto infos =
       cluster::generate_topology(cfg_.node_count, cfg_.regions, cfg_.seed, 100.0, false);
@@ -237,6 +253,7 @@ RapidChainNetwork::RapidChainNetwork(RapidChainConfig cfg) : cfg_(cfg) {
     if (assigned != info.id) throw std::logic_error("rapidchain id mismatch");
     committees_[c].push_back(info.id);
     coords_.push_back(info.coord);
+    install_backend(node, info.id);
   }
   // Hash assignment can leave a committee empty at tiny scales; steal from
   // the largest so the model stays well-formed.
@@ -258,6 +275,18 @@ RapidChainNetwork::RapidChainNetwork(RapidChainConfig cfg) : cfg_(cfg) {
 
 RapidChainNetwork::~RapidChainNetwork() = default;
 
+void RapidChainNetwork::install_backend(RapidChainNode& node, sim::NodeId id) {
+  std::unique_ptr<StorageBackend> backend = store_runtime_->make_backend(id);
+  if (!backend) return;
+  IoEnv env;
+  env.now = [this] { return sim_.now(); };
+  env.schedule_at = [this, id](std::uint64_t at, std::function<void()> fn) {
+    sim_.schedule_for(id, at, std::move(fn));
+  };
+  backend->set_io_env(std::move(env));
+  node.store().set_backend(std::move(backend));
+}
+
 std::size_t RapidChainNetwork::committee_of_block(const Hash256& hash) const {
   return static_cast<std::size_t>(
       Hash256::tagged("rc/block", hash.span()).low64() % cfg_.committee_count);
@@ -273,7 +302,7 @@ void RapidChainNetwork::init_with_genesis(const Block& genesis) {
   auto shared = std::make_shared<const Block>(genesis);
   const Hash256 hash = shared->hash();
   const std::size_t c = committee_of_block(hash);
-  for (sim::NodeId id : committees_[c]) nodes_[id].store().put_block(shared, hash);
+  for (sim::NodeId id : committees_[c]) nodes_[id].store().put(HashedBlock(shared, hash));
 }
 
 sim::SimTime RapidChainNetwork::disseminate_and_settle(const Block& block) {
@@ -291,6 +320,7 @@ sim::SimTime RapidChainNetwork::disseminate_and_settle(const Block& block) {
   sim_.run();
   metrics::sync_sim_counters(metrics_, sim_);
   if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+  if (store_runtime_->disk()) sync_store_counters(metrics_, stores());
 
   pending_.erase(hash);
   const Spread& spread = spreads_.at(hash);
@@ -341,7 +371,7 @@ void RapidChainNetwork::preload_chain(const Chain& chain) {
     auto shared = std::make_shared<const Block>(chain.blocks()[h]);
     const Hash256 hash = shared->hash();
     const std::size_t c = committee_of_block(hash);
-    for (sim::NodeId id : committees_[c]) nodes_[id].store().put_block(shared, hash);
+    for (sim::NodeId id : committees_[c]) nodes_[id].store().put(HashedBlock(shared, hash));
   }
 }
 
@@ -359,6 +389,7 @@ sim::NodeId RapidChainNetwork::add_sync_joiner(sim::Coord coord) {
   coords_.push_back(coord);
   committees_[c].push_back(id);
   if (shards_ > 1) sim_.set_node_lane(id, static_cast<std::uint32_t>(c % shards_));
+  install_backend(node, id);
   return id;
 }
 
@@ -420,6 +451,14 @@ void RapidChainNetwork::run_for(sim::SimTime us) {
   sim_.run_until(sim_.now() + us);
   metrics::sync_sim_counters(metrics_, sim_);
   if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+  if (store_runtime_->disk()) sync_store_counters(metrics_, stores());
+}
+
+void RapidChainNetwork::settle() {
+  sim_.run();
+  metrics::sync_sim_counters(metrics_, sim_);
+  if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+  if (store_runtime_->disk()) sync_store_counters(metrics_, stores());
 }
 
 std::vector<const BlockStore*> RapidChainNetwork::stores() const {

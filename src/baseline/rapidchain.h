@@ -30,6 +30,7 @@
 #include "storage/block_store.h"
 #include "storage/fleet_tally.h"
 #include "storage/header_index.h"
+#include "storage/store_runtime.h"
 #include "sync/serve.h"
 #include "sync/session.h"
 
@@ -51,6 +52,8 @@ struct RapidChainConfig {
   std::size_t shards = 0;
   /// Serve-side bulk-sync rate limit in bytes/s of sim time; 0 = off.
   double sync_serve_rate_bps = 0.0;
+  /// Body-persistence backend per node (--store); mem changes nothing.
+  StoreConfig store;
 };
 
 // -- wire messages ----------------------------------------------------------
@@ -116,7 +119,8 @@ class RapidChainNode final : public sim::INode, private sync::BulkPullSession::E
 
   // -- streaming sync (sync::BulkPullSession::Env + serving) -------------
   void handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg);
-  void send_sync_response(sim::NodeId to, sim::MessagePtr msg);
+  void send_sync_response(sim::NodeId to, sim::MessagePtr msg,
+                          std::uint64_t io_delay_us = 0);
   [[nodiscard]] sim::NodeId sync_self() const override { return id_; }
   [[nodiscard]] sim::Simulator& sync_simulator() override;
   void sync_send(sim::NodeId to, sim::MessagePtr msg) override;
@@ -208,6 +212,10 @@ class RapidChainNetwork {
   /// Runs the simulator for `us` of simulated time and refreshes counters.
   void run_for(sim::SimTime us);
 
+  /// Runs the simulator until quiescent and refreshes counters (retires any
+  /// in-flight disk appends after a preload, among other things).
+  void settle();
+
   [[nodiscard]] std::size_t committee_of_block(const Hash256& hash) const;
   [[nodiscard]] const std::vector<sim::NodeId>& committee_members(std::size_t c) const;
   [[nodiscard]] std::size_t gossip_degree() const { return cfg_.gossip_degree; }
@@ -239,14 +247,17 @@ class RapidChainNetwork {
  private:
   void note_stored_now(const Hash256& hash, sim::SimTime at);
   void flush_deferred_stores();
+  void install_backend(RapidChainNode& node, sim::NodeId id);
 
   RapidChainConfig cfg_;
   std::size_t shards_ = 1;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
-  // Shared header snapshot + SoA tallies outlive the nodes bound to them.
+  // Shared header snapshot + SoA tallies outlive the nodes bound to them;
+  // the store runtime owns the on-disk root the backends write under.
   std::shared_ptr<HeaderIndex> header_index_ = std::make_shared<HeaderIndex>();
   FleetTally fleet_tally_;
+  std::unique_ptr<StoreRuntime> store_runtime_;
   ObjectArena<RapidChainNode> nodes_;
   std::unique_ptr<sim::FaultInjector> faults_;  // after net_: hook uninstall order
   std::vector<std::vector<sim::NodeId>> committees_;

@@ -142,6 +142,15 @@ void add_bench_flags(FlagParser& parser, BenchOptions* opts) {
   parser.add_uint("mempool-cap", &opts->mempool_cap,
                   "mempool capacity for ingest-driven runs, lowest-fee-first "
                   "eviction when full (0 = binary default)");
+  parser.add_string("store", &opts->store,
+                    "body-persistence backend: mem keeps bodies in memory, disk "
+                    "uses log-structured segment files (docs/STORAGE.md)");
+  parser.add_uint("io-write-us", &opts->io_write_us,
+                  "simulated service time of one block append with --store disk "
+                  "(µs of sim time)");
+  parser.add_uint("io-read-us", &opts->io_read_us,
+                  "simulated service time of one cold block read with --store "
+                  "disk (µs of sim time)");
 }
 
 std::size_t apply_bench_options(const BenchOptions& opts, const std::string& program) {

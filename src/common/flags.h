@@ -71,6 +71,13 @@ struct BenchOptions {
   /// Mempool capacity for the ingest-driven runs (0 = the binary's
   /// default; lowest-fee-first eviction once full).
   std::uint64_t mempool_cap = 0;
+  /// Body-persistence backend: "mem" (default, zero IO) or "disk"
+  /// (log-structured segment files, docs/STORAGE.md).
+  std::string store = "mem";
+  /// Simulated IO service times for the disk backend (µs per block append /
+  /// per cold read). Ignored by --store mem.
+  std::uint64_t io_write_us = 100;
+  std::uint64_t io_read_us = 150;
 };
 
 /// Registers the shared bench flags on `parser`, bound to `*opts`.

@@ -6,6 +6,7 @@
 
 #include "metrics/sim_metrics.h"
 #include "obs/trace.h"
+#include "storage/store_metrics.h"
 #include "sim/lbts.h"
 #include "sim/shard.h"
 
@@ -50,6 +51,7 @@ IciNetwork::IciNetwork(IciNetworkConfig cfg) : cfg_(std::move(cfg)) {
   }
   if (cfg_.sync_serve_rate_bps > 0.0)
     serve_throttle_ = std::make_unique<sync::ServeThrottle>(cfg_.sync_serve_rate_bps);
+  store_runtime_ = std::make_unique<StoreRuntime>(cfg_.store);
 
   assigner_ =
       std::make_unique<cluster::RendezvousAssigner>(cfg_.ici.capacity_weighted_assignment);
@@ -66,6 +68,7 @@ IciNetwork::IciNetwork(IciNetworkConfig cfg) : cfg_(std::move(cfg)) {
     const sim::NodeId assigned = net_->add_node(&node, info.coord);
     if (assigned != info.id) throw std::logic_error("node id mismatch during registration");
     if (shards_ > 1) sim_.set_node_lane(info.id, directory_->shard_of(info.id, shards_));
+    install_backend(node, info.id);
   }
 
   // The newest network drives the trace sink's sim clock; the token keeps a
@@ -75,6 +78,20 @@ IciNetwork::IciNetwork(IciNetworkConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 IciNetwork::~IciNetwork() { obs::TraceSink::global().clear_sim_clock(trace_clock_token_); }
+
+void IciNetwork::install_backend(IciNode& node, NodeId id) {
+  std::unique_ptr<StorageBackend> backend = store_runtime_->make_backend(id);
+  if (!backend) return;  // mem: the store's built-in backend is already right
+  IoEnv env;
+  env.now = [this] { return sim_.now(); };
+  // Retirement events run on the owning node's lane: lane-local during
+  // parallel windows, so IO completions stay shard-invariant.
+  env.schedule_at = [this, id](std::uint64_t at, std::function<void()> fn) {
+    sim_.schedule_for(id, at, std::move(fn));
+  };
+  backend->set_io_env(std::move(env));
+  node.store().set_backend(std::move(backend));
+}
 
 std::vector<NodeId> IciNetwork::storers_of(const Hash256& hash, std::uint64_t height,
                                            std::size_t cluster, bool online_only) const {
@@ -210,12 +227,14 @@ void IciNetwork::settle() {
   sim_.run();
   metrics::sync_sim_counters(metrics_, sim_);
   if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+  if (store_runtime_->disk()) sync_store_counters(metrics_, stores());
 }
 
 void IciNetwork::run_for(sim::SimTime us) {
   sim_.run_until(sim_.now() + us);
   metrics::sync_sim_counters(metrics_, sim_);
   if (faults_) metrics::sync_fault_counters(metrics_, faults_->stats());
+  if (store_runtime_->disk()) sync_store_counters(metrics_, stores());
 }
 
 sim::SimTime IciNetwork::disseminate_and_settle(const Block& block) {
@@ -297,13 +316,13 @@ void IciNetwork::preload_chain(const Chain& chain, bool build_tx_index) {
       auto shared = std::make_shared<const Block>(block);
       for (std::size_t c = 0; c < k; ++c) {
         for (NodeId id : storers_of(hash, h, c, /*online_only=*/false)) {
-          nodes_[id].store().put_block(shared, hash);
+          nodes_[id].store().put(HashedBlock(shared, hash));
         }
       }
     }
     // One intern in the shared HeaderIndex, then a bitmap mark per node.
     for (std::size_t id = 0; id < nodes_.size(); ++id) {
-      nodes_[id].store().put_header(block.header(), hash);
+      nodes_[id].store().put(StoredBlock::header_only(block.header(), hash));
     }
     if (build_tx_index) {
       for (const Transaction& tx : block.txs()) {
@@ -672,6 +691,7 @@ NodeId IciNetwork::add_joiner(sim::Coord coord, std::size_t cluster) {
   const sim::NodeId assigned = net_->add_node(&node, coord);
   if (assigned != info.id) throw std::logic_error("joiner id mismatch");
   if (shards_ > 1) sim_.set_node_lane(info.id, directory_->shard_of(info.id, shards_));
+  install_backend(node, info.id);
   return info.id;
 }
 

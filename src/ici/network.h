@@ -26,6 +26,7 @@
 #include "storage/fleet_tally.h"
 #include "storage/header_index.h"
 #include "storage/storage_meter.h"
+#include "storage/store_runtime.h"
 #include "sync/serve.h"
 
 namespace ici::core {
@@ -45,6 +46,9 @@ struct IciNetworkConfig {
   /// Serve-side bulk-sync rate limit per (server, peer) pair in bytes per
   /// second of sim time; 0 disables throttling (--sync-serve-rate).
   double sync_serve_rate_bps = 0.0;
+  /// Body-persistence backend per node (--store / --io-write-us /
+  /// --io-read-us). The default mem backend changes nothing.
+  StoreConfig store;
 };
 
 class IciNetwork {
@@ -224,8 +228,12 @@ class IciNetwork {
   /// current clustering. Returns bytes freed. Run after migrations settle.
   std::uint64_t prune_unassigned();
 
+  /// The storage runtime (backend factory + on-disk root) for this network.
+  [[nodiscard]] const StoreRuntime& store_runtime() const { return *store_runtime_; }
+
  private:
   void handle_churn_event(cluster::NodeId id, bool online);
+  void install_backend(IciNode& node, cluster::NodeId id);
   void repair_cluster_coded(std::size_t cluster);
   void note_commit_now(const Hash256& hash, std::uint64_t height,
                        std::size_t size_bytes, sim::SimTime at);
@@ -240,9 +248,11 @@ class IciNetwork {
   std::unique_ptr<cluster::BlockAssigner> assigner_;
   std::unique_ptr<cluster::BlockAssigner> shard_owner_assigner_;  // unweighted, r=1
   // Shared immutable snapshot + SoA tallies must outlive the nodes bound to
-  // them (nodes_ is declared after both).
+  // them (nodes_ is declared after both). The store runtime owns the on-disk
+  // root, so it too must outlive the nodes whose backends write under it.
   std::shared_ptr<HeaderIndex> header_index_ = std::make_shared<HeaderIndex>();
   FleetTally fleet_tally_;
+  std::unique_ptr<StoreRuntime> store_runtime_;
   ObjectArena<IciNode> nodes_;
   std::unique_ptr<sim::ChurnModel> churn_;
   // Declared after net_ so it uninstalls its network hook before the

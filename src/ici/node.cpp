@@ -54,9 +54,9 @@ void IciNode::seed_genesis(const Block& genesis, bool is_storer,
                            const erasure::Shard* shard, const GenesisOwnerMap* owners) {
   const Hash256 h = genesis.hash();
   if (is_storer) {
-    store_.put_block(genesis, h);
+    store_.put(HashedBlock(genesis, h));
   } else {
-    store_.put_header(genesis.header(), h);
+    store_.put(StoredBlock::header_only(genesis.header(), h));
   }
   if (shard != nullptr) shard_store_.put(h, *shard);
   const std::size_t my_cluster = ctx_.directory().cluster_of(id_);
@@ -175,7 +175,7 @@ void IciNode::handle_full_block(sim::NodeId from, const FullBlockMsg& msg) {
     start_cluster_verification(msg.block);
   } else {
     // Storage hand-off from a committing head.
-    store_.put_block(msg.block);
+    store_.put(HashedBlock(msg.block));
     ctx_.metrics().counter("storage.bodies_received").inc();
   }
 }
@@ -464,7 +464,7 @@ void IciNode::commit_block(const Hash256& block_hash) {
     auto body = std::make_shared<FullBlockMsg>(pv.block, /*verify=*/false);
     for (NodeId s : storers) {
       if (s == id_) {
-        store_.put_block(pv.block, block_hash);
+        store_.put(HashedBlock(pv.block, block_hash));
       } else {
         ctx_.network().send(id_, s, body);
       }
@@ -705,7 +705,7 @@ void IciNode::finish_slice(const Hash256& block_hash) {
 
 void IciNode::handle_commit(sim::NodeId from, const CommitMsg& msg) {
   (void)from;
-  store_.put_header(msg.header, msg.block_hash);
+  store_.put(StoredBlock::header_only(msg.header, msg.block_hash));
   auto& tally = ctx_.fleet_tally().slot(id_);
   for (const OutPoint& op : msg.spent) tally.utxo_entries -= shard_.erase(op);
   for (const auto& [op, out] : msg.created) {
@@ -725,7 +725,8 @@ void IciNode::handle_block_request(sim::NodeId from, const BlockRequestMsg& msg)
   auto resp = std::make_shared<BlockResponseMsg>();
   resp->block_hash = msg.block_hash;
   resp->request_id = msg.request_id;
-  resp->block = store_.block_ptr(msg.block_hash);
+  const BlockRef ref = store_.block_by_hash(msg.block_hash);
+  resp->block = ref.share();
   if (resp->block && fault_.corrupt_serves) {
     // Serve a tampered body: same header, one transaction replaced. The
     // fetcher's Merkle check rejects it and falls back to the next holder.
@@ -735,6 +736,13 @@ void IciNode::handle_block_request(sim::NodeId from, const BlockRequestMsg& msg)
     }
     resp->block = std::make_shared<const Block>(Block(resp->block->header(), std::move(txs)));
     ctx_.metrics().counter("fault.corrupt_serves").inc();
+  }
+  if (ref.io_delay_us > 0) {
+    // Cold read: the response departs once the media delivers the bytes.
+    ctx_.simulator().after(ref.io_delay_us, [this, from, resp = std::move(resp)] {
+      ctx_.network().send(id_, from, resp);
+    });
+    return;
   }
   ctx_.network().send(id_, from, std::move(resp));
 }
@@ -788,14 +796,23 @@ void IciNode::finish_fetch(std::uint64_t request_id, std::shared_ptr<const Block
 }
 
 void IciNode::fetch_block(const Hash256& hash, std::uint64_t height, FetchCallback cb) {
-  // Local hit: no traffic, zero latency.
-  if (auto b = store_.block_ptr(hash); b != nullptr) {
+  // Local hit: no traffic; latency is the backend's cold-read cost (zero
+  // for the in-memory backend, so mem runs stay event-identical).
+  if (BlockRef ref = store_.block_by_hash(hash)) {
     ctx_.metrics().counter("retrieval.local_hits").inc();
     if (cb) {
       FetchResult result;
-      result.block = std::move(b);
+      result.block = ref.share();
       result.outcome = FetchOutcome::kLocal;
-      cb(result);
+      result.elapsed_us = ref.io_delay_us;
+      if (ref.io_delay_us > 0) {
+        ctx_.simulator().after(ref.io_delay_us,
+                               [cb = std::move(cb), result = std::move(result)] {
+                                 cb(result);
+                               });
+      } else {
+        cb(result);
+      }
     }
     return;
   }
@@ -835,7 +852,7 @@ void IciNode::pull_from(sim::NodeId source, const Hash256& hash) {
     if (r.block) {
       ctx_.metrics().counter("repair.copies_completed").inc();
       ctx_.metrics().counter("repair.bytes_copied").inc(r.block->serialized_size());
-      store_.put_block(r.block);
+      store_.put(HashedBlock(r.block));
     } else {
       ctx_.metrics().counter("repair.copies_failed").inc();
     }
@@ -1106,17 +1123,35 @@ void IciNode::repair_shard(const Hash256& hash, std::uint64_t height,
 void IciNode::handle_proof_request(sim::NodeId from, const ProofRequestMsg& msg) {
   auto resp = std::make_shared<ProofResponseMsg>();
   resp->request_id = msg.request_id;
-  if (const Block* block = store_.block_by_hash(msg.block_hash); block != nullptr) {
-    resp->proof = spv::build_proof(*block, msg.txid);
+  const BlockRef ref = store_.block_by_hash(msg.block_hash);
+  if (ref) {
+    resp->proof = spv::build_proof(*ref, msg.txid);
+  }
+  if (ref.io_delay_us > 0) {
+    ctx_.simulator().after(ref.io_delay_us, [this, from, resp = std::move(resp)] {
+      ctx_.network().send(id_, from, resp);
+    });
+    return;
   }
   ctx_.network().send(id_, from, std::move(resp));
 }
 
 void IciNode::fetch_proof(const Hash256& txid, const Hash256& hash, std::uint64_t height,
                           ProofCallback cb) {
-  // Local body: build directly.
-  if (const Block* block = store_.block_by_hash(hash); block != nullptr) {
-    if (cb) cb(spv::build_proof(*block, txid), 0);
+  // Local body: build directly (a cold read defers the answer by its IO
+  // cost, which the reported elapsed time then carries).
+  if (BlockRef ref = store_.block_by_hash(hash)) {
+    if (cb) {
+      if (ref.io_delay_us > 0) {
+        ctx_.simulator().after(
+            ref.io_delay_us,
+            [cb = std::move(cb), body = ref.share(), txid, d = ref.io_delay_us] {
+              cb(spv::build_proof(*body, txid), d);
+            });
+      } else {
+        cb(spv::build_proof(*ref, txid), 0);
+      }
+    }
     return;
   }
   if (ctx_.coded()) {
@@ -1305,7 +1340,7 @@ void IciNode::handle_headers_response(sim::NodeId from, const HeadersResponseMsg
   std::vector<Wanted> wanted;
   for (const BlockHeader& header : msg.headers) {
     const Hash256 hash = header.hash();
-    store_.put_header(header, hash);
+    store_.put(StoredBlock::header_only(header, hash));
     // Under the membership that now includes this node, which bodies (or
     // shards, in coded mode) fall to it?
     if (ctx_.coded()) {
@@ -1356,10 +1391,11 @@ void IciNode::handle_headers_response(sim::NodeId from, const HeadersResponseMsg
       // Coded: reconstruct once, keep only the assigned shard.
       fetch_block_coded(w.hash, w.height, on_fetched, w.shard_index);
     } else {
-      fetch_block(w.hash, w.height, [this, on_fetched](const FetchResult& r) {
-        if (r.block) store_.put_block(r.block);
-        on_fetched(r);
-      });
+      fetch_block(w.hash, w.height,
+                  [this, on_fetched, hash = w.hash](const FetchResult& r) {
+                    if (r.block) store_.put(HashedBlock(r.block, hash));
+                    on_fetched(r);
+                  });
     }
   }
 }
@@ -1399,7 +1435,8 @@ void IciNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg
     }
     case sync::SyncMsgKind::kRangeRequest: {
       const auto& req = static_cast<const sync::RangeRequestMsg&>(msg);
-      send_sync_response(from, sync::serve_range(store_, req));
+      sync::ServedRange served = sync::serve_range(store_, req);
+      send_sync_response(from, std::move(served.msg), served.io_delay_us);
       break;
     }
     case sync::SyncMsgKind::kFrontierResponse:
@@ -1409,20 +1446,24 @@ void IciNode::handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg
   }
 }
 
-void IciNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg) {
+void IciNode::send_sync_response(sim::NodeId to, sim::MessagePtr msg,
+                                 std::uint64_t io_delay_us) {
+  std::uint64_t delay = io_delay_us;
   sync::ServeThrottle* throttle = ctx_.serve_throttle();
   if (throttle != nullptr) {
-    const std::uint64_t delay =
+    const std::uint64_t t =
         throttle->delay_for(id_, to, msg->wire_size(), ctx_.simulator().now());
-    if (delay > 0) {
-      ctx_.metrics().counter("sync.serve_throttled").inc();
-      // Deferred send runs in this node's own context, so the wire message
-      // departs when the bucket has room — the peer just sees it later.
-      ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
-        ctx_.network().send(id_, to, msg);
-      });
-      return;
-    }
+    if (t > 0) ctx_.metrics().counter("sync.serve_throttled").inc();
+    delay += t;
+  }
+  if (delay > 0) {
+    // Deferred send runs in this node's own context, so the wire message
+    // departs once the store has read the bodies and the bucket has room —
+    // the peer just sees it later.
+    ctx_.simulator().after(delay, [this, to, msg = std::move(msg)] {
+      ctx_.network().send(id_, to, msg);
+    });
+    return;
   }
   ctx_.network().send(id_, to, std::move(msg));
 }
@@ -1440,7 +1481,7 @@ std::size_t IciNode::sync_message_overhead() const {
 bool IciNode::sync_coded() const { return ctx_.coded(); }
 
 void IciNode::sync_commit_header(const BlockHeader& header, const Hash256& hash) {
-  store_.put_header(header, hash);
+  store_.put(StoredBlock::header_only(header, hash));
 }
 
 bool IciNode::sync_wants_body(const Hash256& hash, std::uint64_t height) {
@@ -1457,7 +1498,7 @@ bool IciNode::sync_wants_body(const Hash256& hash, std::uint64_t height) {
 }
 
 void IciNode::sync_commit_body(const std::shared_ptr<const Block>& block) {
-  store_.put_block(block);
+  store_.put(HashedBlock(block));
 }
 
 std::vector<sim::NodeId> IciNode::sync_body_candidates(const Hash256& hash,

@@ -229,7 +229,8 @@ class IciNode final : public sim::INode, private sync::BulkPullSession::Env {
   void handle_sync_message(sim::NodeId from, const sync::SyncMessage& msg);
   /// Sends a serve-side sync response, deferred by the per-peer token
   /// bucket when --sync-serve-rate is set.
-  void send_sync_response(sim::NodeId to, sim::MessagePtr msg);
+  void send_sync_response(sim::NodeId to, sim::MessagePtr msg,
+                          std::uint64_t io_delay_us = 0);
   [[nodiscard]] sim::NodeId sync_self() const override { return id_; }
   [[nodiscard]] sim::Simulator& sync_simulator() override;
   void sync_send(sim::NodeId to, sim::MessagePtr msg) override;

@@ -1,5 +1,7 @@
 #include "storage/block_store.h"
 
+#include <stdexcept>
+
 namespace ici {
 
 void BlockStore::bind_tally(FleetTally* fleet, std::size_t slot) {
@@ -14,18 +16,27 @@ void BlockStore::bind_tally(FleetTally* fleet, std::size_t slot) {
   }
 }
 
-void BlockStore::put_header(const BlockHeader& header) { put_header(header, header.hash()); }
+void BlockStore::set_backend(std::unique_ptr<StorageBackend> backend) {
+  if (backend == nullptr) return;  // keep the MemBackend default
+  if (backend_->count() != 0) {
+    throw std::logic_error("BlockStore::set_backend: bodies already stored");
+  }
+  backend_ = std::move(backend);
+}
 
-void BlockStore::put_header(const BlockHeader& header, const Hash256& hash) {
-  const std::uint32_t slot = index_->intern(header, hash);
+void BlockStore::put(StoredBlock&& sb) {
+  const std::uint32_t slot = index_->intern(sb.header, sb.hash);
   if (!have_slot(slot)) {
     mark_slot(slot);
     ++tally().header_count;
-    if (!has_tip_ || header.height > tip_height_) {
+    if (!has_tip_ || sb.header.height > tip_height_) {
       has_tip_ = true;
-      tip_height_ = header.height;
+      tip_height_ = sb.header.height;
     }
   }
+  if (sb.body == nullptr) return;
+  const std::uint64_t bytes = sb.body->serialized_size();
+  if (backend_->put(sb.hash, std::move(sb.body))) tally().body_bytes += bytes;
 }
 
 std::optional<BlockHeader> BlockStore::header_by_hash(const Hash256& hash) const {
@@ -40,60 +51,28 @@ std::optional<BlockHeader> BlockStore::header_at(std::uint64_t height) const {
   return index_->header(slot);
 }
 
-void BlockStore::put_block(std::shared_ptr<const Block> block) {
-  const Hash256 hash = block->hash();
-  put_block(std::move(block), hash);
+BlockRef BlockStore::block_by_hash(const Hash256& hash) const {
+  BlockRef ref;
+  ref.block = backend_->fetch(hash, &ref.cold, &ref.io_delay_us);
+  return ref;
 }
 
-void BlockStore::put_block(const Block& block) {
-  put_block(std::make_shared<const Block>(block));
-}
-
-void BlockStore::put_block(const Block& block, const Hash256& hash) {
-  put_block(std::make_shared<const Block>(block), hash);
-}
-
-void BlockStore::put_block(std::shared_ptr<const Block> block, const Hash256& hash) {
-  put_header(block->header(), hash);
-  if (bodies_.contains(hash)) return;
-  tally().body_bytes += block->serialized_size();
-  bodies_.emplace(hash, std::move(block));
-}
-
-const Block* BlockStore::block_by_hash(const Hash256& hash) const {
-  const auto it = bodies_.find(hash);
-  if (it == bodies_.end()) return nullptr;
-  return it->second.get();
-}
-
-std::shared_ptr<const Block> BlockStore::block_ptr(const Hash256& hash) const {
-  const auto it = bodies_.find(hash);
-  if (it == bodies_.end()) return nullptr;
-  return it->second;
-}
-
-const Block* BlockStore::block_at(std::uint64_t height) const {
+BlockRef BlockStore::block_at(std::uint64_t height) const {
   const std::uint32_t slot = index_->slot_at(height);
-  if (slot == HeaderIndex::kNoSlot) return nullptr;
+  if (slot == HeaderIndex::kNoSlot) return {};
   return block_by_hash(index_->hash(slot));
 }
 
 std::uint64_t BlockStore::prune_block(const Hash256& hash) {
-  const auto it = bodies_.find(hash);
-  if (it == bodies_.end()) return 0;
-  const std::uint64_t freed = it->second->serialized_size();
+  const std::uint64_t freed = backend_->erase(hash);
   tally().body_bytes -= freed;
-  bodies_.erase(it);
   return freed;
 }
 
 std::vector<Hash256> BlockStore::stored_hashes() const {
   std::vector<Hash256> out;
-  out.reserve(bodies_.size());
-  for (const auto& [h, b] : bodies_) {
-    (void)b;
-    out.push_back(h);
-  }
+  out.reserve(backend_->count());
+  backend_->for_each_hash([&out](const Hash256& h) { out.push_back(h); });
   return out;
 }
 

@@ -1,0 +1,66 @@
+// MemBackend: the seed storage model as a StorageBackend. Bodies live in one
+// shared unordered_map of shared_ptr<const Block>; puts land instantly,
+// reads are always warm with zero simulated delay, and nothing is ever
+// scheduled — a run with `--store mem` is event-for-event identical to the
+// pre-backend layout.
+#pragma once
+
+#include <unordered_map>
+
+#include "storage/backend.h"
+
+namespace ici {
+
+class MemBackend final : public StorageBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "mem"; }
+
+  bool put(const Hash256& hash, std::shared_ptr<const Block> block) override {
+    if (bodies_.contains(hash)) {
+      ++counters_.dup_puts;
+      return false;
+    }
+    bodies_.emplace(hash, std::move(block));
+    ++counters_.puts;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const Hash256& hash) const override {
+    return bodies_.contains(hash);
+  }
+
+  [[nodiscard]] std::shared_ptr<const Block> fetch(const Hash256& hash, bool* cold,
+                                                   std::uint64_t* delay_us) const override {
+    if (cold != nullptr) *cold = false;
+    if (delay_us != nullptr) *delay_us = 0;
+    const auto it = bodies_.find(hash);
+    if (it == bodies_.end()) return nullptr;
+    ++counters_.warm_reads;
+    return it->second;
+  }
+
+  std::uint64_t erase(const Hash256& hash) override {
+    const auto it = bodies_.find(hash);
+    if (it == bodies_.end()) return 0;
+    const std::uint64_t freed = it->second->serialized_size();
+    bodies_.erase(it);
+    return freed;
+  }
+
+  [[nodiscard]] std::size_t count() const override { return bodies_.size(); }
+
+  void for_each_hash(const std::function<void(const Hash256&)>& fn) const override {
+    for (const auto& [h, b] : bodies_) {
+      (void)b;
+      fn(h);
+    }
+  }
+
+  [[nodiscard]] const StoreCounters& counters() const override { return counters_; }
+
+ private:
+  std::unordered_map<Hash256, std::shared_ptr<const Block>, Hash256Hasher> bodies_;
+  mutable StoreCounters counters_;
+};
+
+}  // namespace ici

@@ -1,0 +1,42 @@
+#include "storage/store_runtime.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "storage/disk_backend.h"
+
+namespace ici {
+
+StoreRuntime::StoreRuntime(StoreConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.backend != "mem" && cfg_.backend != "disk") {
+    throw std::invalid_argument("StoreConfig.backend must be mem or disk, got '" +
+                                cfg_.backend + "'");
+  }
+  if (!disk()) return;
+  if (!cfg_.dir.empty()) {
+    root_ = cfg_.dir;
+    std::filesystem::create_directories(root_);
+    return;
+  }
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "ici-store-XXXXXX").string();
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    throw std::runtime_error("StoreRuntime: mkdtemp failed for " + tmpl);
+  }
+  root_ = tmpl;
+  owns_root_ = true;
+}
+
+StoreRuntime::~StoreRuntime() {
+  if (!owns_root_) return;
+  std::error_code ec;  // best-effort teardown; never throw from a dtor
+  std::filesystem::remove_all(root_, ec);
+}
+
+std::unique_ptr<StorageBackend> StoreRuntime::make_backend(std::size_t node_id) const {
+  if (!disk()) return nullptr;
+  return std::make_unique<DiskBackend>(cfg_, root_ / ("node-" + std::to_string(node_id)));
+}
+
+}  // namespace ici

@@ -8,6 +8,7 @@
 #include "baseline/rapidchain.h"
 #include "ici/bootstrap.h"
 #include "ici/network.h"
+#include "storage/store_metrics.h"
 
 namespace ici::core {
 
@@ -26,6 +27,7 @@ class IciStrategy final : public Strategy {
     ncfg.ici.seed = cfg.placement_seed;
     ncfg.ici.fetch_retry_rounds = cfg.fetch_retry_rounds;
     ncfg.ici.cross_cluster_repair = cfg.cross_cluster_repair;
+    ncfg.store = cfg.store;
     net_ = std::make_unique<IciNetwork>(ncfg);
   }
 
@@ -62,6 +64,10 @@ class IciStrategy final : public Strategy {
   [[nodiscard]] double cluster_availability() const override { return net_->availability(); }
 
   [[nodiscard]] metrics::Registry* metrics_registry() override { return &net_->metrics(); }
+
+  [[nodiscard]] StoreCounters store_counters() const override {
+    return sum_store_counters(net_->stores());
+  }
 
   [[nodiscard]] JoinReport bootstrap_join(sim::Coord coord,
                                           const sync::SyncConfig& cfg) override {
@@ -101,6 +107,7 @@ class FullRepStrategy final : public Strategy {
     ncfg.node_count = cfg.node_count;
     ncfg.validate = cfg.fullrep_validate;
     ncfg.seed = cfg.topology_seed;
+    ncfg.store = cfg.store;
     net_ = std::make_unique<baseline::FullRepNetwork>(ncfg);
   }
 
@@ -123,6 +130,7 @@ class FullRepStrategy final : public Strategy {
     }
   }
 
+  void settle() override { net_->settle(); }
   void run_for(sim::SimTime us) override { net_->run_for(us); }
   void start_faults(const sim::FaultPlan& plan) override { net_->start_faults(plan); }
 
@@ -152,6 +160,10 @@ class FullRepStrategy final : public Strategy {
 
   [[nodiscard]] metrics::Registry* metrics_registry() override { return &net_->metrics(); }
 
+  [[nodiscard]] StoreCounters store_counters() const override {
+    return sum_store_counters(net_->stores());
+  }
+
   [[nodiscard]] JoinReport bootstrap_join(sim::Coord coord,
                                           const sync::SyncConfig& cfg) override {
     const auto r = net_->bootstrap(coord, cfg);
@@ -179,6 +191,7 @@ class RapidChainStrategy final : public Strategy {
     ncfg.node_count = cfg.node_count;
     ncfg.committee_count = cfg.groups;
     ncfg.seed = cfg.topology_seed;
+    ncfg.store = cfg.store;
     net_ = std::make_unique<baseline::RapidChainNetwork>(ncfg);
   }
 
@@ -201,6 +214,7 @@ class RapidChainStrategy final : public Strategy {
     }
   }
 
+  void settle() override { net_->settle(); }
   void run_for(sim::SimTime us) override { net_->run_for(us); }
   void start_faults(const sim::FaultPlan& plan) override { net_->start_faults(plan); }
 
@@ -230,6 +244,10 @@ class RapidChainStrategy final : public Strategy {
   }
 
   [[nodiscard]] metrics::Registry* metrics_registry() override { return &net_->metrics(); }
+
+  [[nodiscard]] StoreCounters store_counters() const override {
+    return sum_store_counters(net_->stores());
+  }
 
   [[nodiscard]] JoinReport bootstrap_join(sim::Coord coord,
                                           const sync::SyncConfig& cfg) override {

@@ -24,6 +24,7 @@
 #include "ici/retrieval.h"
 #include "metrics/registry.h"
 #include "sim/faults.h"
+#include "storage/backend.h"
 #include "storage/storage_meter.h"
 #include "sync/checkpoint.h"
 
@@ -51,6 +52,10 @@ struct StrategyConfig {
   std::size_t fetch_retry_rounds = 0;
   /// ICI repair may restore cluster-lost blocks from other clusters.
   bool cross_cluster_repair = false;
+  /// Body-persistence backend per node (--store / --io-write-us /
+  /// --io-read-us). Applies to the simulated strategies (ici, fullrep,
+  /// rapidchain); pruned's closed-form model has no per-node backend.
+  StoreConfig store;
 };
 
 /// Per-run message traffic totals (sum over all nodes).
@@ -126,6 +131,11 @@ class Strategy {
 
   /// The strategy's metrics registry (repair/fault counters), if any.
   [[nodiscard]] virtual metrics::Registry* metrics_registry() { return nullptr; }
+
+  /// Summed storage-backend event tallies across the fleet (store.* —
+  /// docs/STORAGE.md). All-zero for strategies without per-node backends
+  /// (pruned's closed-form model) and for mem-backed runs that never read.
+  [[nodiscard]] virtual StoreCounters store_counters() const { return {}; }
 
   /// Joins a fresh node at `coord` through the strategy's bootstrap path —
   /// the streaming bulk-sync protocol for the simulated strategies, a

@@ -19,7 +19,7 @@ std::uint64_t ServeThrottle::delay_for(std::uint32_t server, std::uint32_t peer,
   return busy - now;
 }
 
-sim::MessagePtr serve_frontier(const BlockStore& store,
+sim::MessagePtr serve_frontier(BlockReader store,
                                const FrontierRequestMsg& req,
                                std::uint64_t inventory, bool serves_shards) {
   auto resp = std::make_shared<FrontierResponseMsg>();
@@ -33,19 +33,24 @@ sim::MessagePtr serve_frontier(const BlockStore& store,
   return resp;
 }
 
-sim::MessagePtr serve_range(const BlockStore& store, const RangeRequestMsg& req) {
+ServedRange serve_range(BlockReader store, const RangeRequestMsg& req) {
   auto resp = std::make_shared<RangeResponseMsg>();
   resp->session_id = req.session_id;
   resp->range_index = req.range_index;
   resp->mode = req.mode;
   resp->from_height = req.from_height;
   resp->count = req.count;
+  std::uint64_t io_delay = 0;
 
   if (req.mode == PullMode::kListedBodies) {
     resp->bodies.reserve(req.want.size());
-    for (const auto& hash : req.want)
-      if (auto block = store.block_ptr(hash)) resp->bodies.push_back(std::move(block));
-    return resp;
+    for (const auto& hash : req.want) {
+      if (BlockRef ref = store.block_by_hash(hash)) {
+        io_delay += ref.io_delay_us;
+        resp->bodies.push_back(ref.share());
+      }
+    }
+    return {std::move(resp), io_delay};
   }
 
   resp->headers.reserve(req.count);
@@ -54,11 +59,13 @@ sim::MessagePtr serve_range(const BlockStore& store, const RangeRequestMsg& req)
     if (!header) continue;
     resp->headers.push_back(*header);
     if (req.mode == PullMode::kHeadersAndBodies) {
-      if (auto block = store.block_ptr(header->hash()))
-        resp->bodies.push_back(std::move(block));
+      if (BlockRef ref = store.block_by_hash(header->hash())) {
+        io_delay += ref.io_delay_us;
+        resp->bodies.push_back(ref.share());
+      }
     }
   }
-  return resp;
+  return {std::move(resp), io_delay};
 }
 
 }  // namespace ici::sync

@@ -51,18 +51,27 @@ class ServeThrottle {
 
 /// Builds the frontier answer for `req`. `inventory` is the count of
 /// bodies (replication) or shards (coded) the peer can serve;
-/// `serves_shards` marks coded peers.
-[[nodiscard]] sim::MessagePtr serve_frontier(const BlockStore& store,
+/// `serves_shards` marks coded peers. Takes a read-only store view — the
+/// serve side never writes.
+[[nodiscard]] sim::MessagePtr serve_frontier(BlockReader store,
                                              const FrontierRequestMsg& req,
                                              std::uint64_t inventory,
                                              bool serves_shards);
+
+/// A built range response plus the simulated IO cost of assembling it:
+/// the summed cold-read delay of every body fetched from persistent media
+/// (always 0 with the in-memory backend). The caller defers the send by
+/// `io_delay_us` so disk-backed serving pays for its reads in sim time.
+struct ServedRange {
+  sim::MessagePtr msg;
+  std::uint64_t io_delay_us = 0;
+};
 
 /// Builds the range answer for `req`.
 ///  - kHeaders / kHeadersAndBodies: headers for every height in
 ///    [from, from+count) the store holds; in kHeadersAndBodies mode, every
 ///    held body in the range rides along.
 ///  - kListedBodies: exactly the wanted bodies the store holds.
-[[nodiscard]] sim::MessagePtr serve_range(const BlockStore& store,
-                                          const RangeRequestMsg& req);
+[[nodiscard]] ServedRange serve_range(BlockReader store, const RangeRequestMsg& req);
 
 }  // namespace ici::sync

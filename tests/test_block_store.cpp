@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "chain/workload.h"
+#include "storage/disk_backend.h"
 #include "storage/storage_meter.h"
 
 namespace ici {
@@ -18,7 +21,7 @@ Chain small_chain(std::size_t blocks = 5) {
 TEST(BlockStore, HeaderOnlyStorage) {
   const Chain chain = small_chain();
   BlockStore store;
-  for (const Block& b : chain.blocks()) store.put_header(b.header());
+  for (const Block& b : chain.blocks()) store.put(StoredBlock::header_only(b.header()));
   EXPECT_EQ(store.header_count(), chain.size());
   EXPECT_EQ(store.block_count(), 0u);
   EXPECT_EQ(store.body_bytes(), 0u);
@@ -34,20 +37,23 @@ TEST(BlockStore, HeaderOnlyStorage) {
 TEST(BlockStore, PutBlockStoresBodyAndHeader) {
   const Chain chain = small_chain();
   BlockStore store;
-  store.put_block(chain.at_height(1));
+  store.put(HashedBlock(chain.at_height(1)));
   EXPECT_TRUE(store.has_block(chain.at_height(1).hash()));
   EXPECT_EQ(store.block_count(), 1u);
   EXPECT_EQ(store.header_count(), 1u);
   EXPECT_EQ(store.body_bytes(), chain.at_height(1).serialized_size());
-  ASSERT_NE(store.block_at(1), nullptr);
-  EXPECT_EQ(store.block_at(1)->hash(), chain.at_height(1).hash());
+  const BlockRef ref = store.block_at(1);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref->hash(), chain.at_height(1).hash());
+  EXPECT_FALSE(ref.cold);
+  EXPECT_EQ(ref.io_delay_us, 0u);
 }
 
 TEST(BlockStore, PutBlockIdempotent) {
   const Chain chain = small_chain();
   BlockStore store;
-  store.put_block(chain.at_height(1));
-  store.put_block(chain.at_height(1));
+  store.put(HashedBlock(chain.at_height(1)));
+  store.put(HashedBlock(chain.at_height(1)));
   EXPECT_EQ(store.block_count(), 1u);
   EXPECT_EQ(store.body_bytes(), chain.at_height(1).serialized_size());
 }
@@ -55,8 +61,8 @@ TEST(BlockStore, PutBlockIdempotent) {
 TEST(BlockStore, PruneFreesBytes) {
   const Chain chain = small_chain();
   BlockStore store;
-  store.put_block(chain.at_height(1));
-  store.put_block(chain.at_height(2));
+  store.put(HashedBlock(chain.at_height(1)));
+  store.put(HashedBlock(chain.at_height(2)));
   const std::uint64_t freed = store.prune_block(chain.at_height(1).hash());
   EXPECT_EQ(freed, chain.at_height(1).serialized_size());
   EXPECT_FALSE(store.has_block(chain.at_height(1).hash()));
@@ -70,13 +76,56 @@ TEST(BlockStore, PruneMissingReturnsZero) {
   EXPECT_EQ(store.prune_block(Hash256{}), 0u);
 }
 
+// Regression: pruning a body must not disturb the header-side bookkeeping
+// (tip height, header count/bytes), and a later re-put of the same block
+// must restore body_bytes() to the exact pre-prune value — no double-charge,
+// no leak. Holds for both backends.
+TEST(BlockStore, PruneThenRePutRestoresExactAccounting) {
+  const Chain chain = small_chain();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ici-store-test-reput";
+  std::filesystem::remove_all(dir);
+
+  for (const bool disk : {false, true}) {
+    BlockStore store;
+    if (disk) {
+      StoreConfig cfg;
+      cfg.backend = "disk";
+      store.set_backend(std::make_unique<DiskBackend>(cfg, dir));
+    }
+    for (const Block& b : chain.blocks()) store.put(StoredBlock::header_only(b.header()));
+    store.put(HashedBlock(chain.at_height(1)));
+    store.put(HashedBlock(chain.at_height(2)));
+
+    const std::uint64_t body_before = store.body_bytes();
+    const std::uint64_t header_before = store.header_bytes();
+    const auto tip_before = store.tip_height();
+    ASSERT_TRUE(tip_before.has_value());
+
+    EXPECT_EQ(store.prune_block(chain.at_height(1).hash()),
+              chain.at_height(1).serialized_size());
+    EXPECT_EQ(store.tip_height(), tip_before) << "disk=" << disk;
+    EXPECT_EQ(store.header_count(), chain.size());
+    EXPECT_EQ(store.header_bytes(), header_before);
+    EXPECT_EQ(store.block_count(), 1u);
+
+    store.put(HashedBlock(chain.at_height(1)));
+    EXPECT_EQ(store.body_bytes(), body_before) << "disk=" << disk;
+    EXPECT_EQ(store.block_count(), 2u);
+    EXPECT_EQ(store.tip_height(), tip_before);
+    ASSERT_TRUE(store.block_by_hash(chain.at_height(1).hash()));
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(BlockStore, SharedPtrStorageSharesObject) {
   const Chain chain = small_chain();
   auto shared = std::make_shared<const Block>(chain.at_height(1));
   BlockStore a, b;
-  a.put_block(shared);
-  b.put_block(shared, shared->hash());
-  EXPECT_EQ(a.block_ptr(shared->hash()).get(), b.block_ptr(shared->hash()).get());
+  a.put(HashedBlock(shared));
+  b.put(HashedBlock(shared, shared->hash()));
+  EXPECT_EQ(a.block_by_hash(shared->hash()).share().get(),
+            b.block_by_hash(shared->hash()).share().get());
   // Both stores still account for the full bytes independently.
   EXPECT_EQ(a.body_bytes(), b.body_bytes());
 }
@@ -84,8 +133,8 @@ TEST(BlockStore, SharedPtrStorageSharesObject) {
 TEST(BlockStore, StoredHashesComplete) {
   const Chain chain = small_chain();
   BlockStore store;
-  store.put_block(chain.at_height(1));
-  store.put_block(chain.at_height(3));
+  store.put(HashedBlock(chain.at_height(1)));
+  store.put(HashedBlock(chain.at_height(3)));
   const auto hashes = store.stored_hashes();
   EXPECT_EQ(hashes.size(), 2u);
   for (const Hash256& h : hashes) EXPECT_TRUE(store.has_block(h));
@@ -94,17 +143,34 @@ TEST(BlockStore, StoredHashesComplete) {
 TEST(BlockStore, TotalBytesIsBodiesPlusHeaders) {
   const Chain chain = small_chain();
   BlockStore store;
-  for (const Block& b : chain.blocks()) store.put_header(b.header());
-  store.put_block(chain.at_height(1));
+  for (const Block& b : chain.blocks()) store.put(StoredBlock::header_only(b.header()));
+  store.put(HashedBlock(chain.at_height(1)));
   EXPECT_EQ(store.total_bytes(), store.body_bytes() + store.header_bytes());
+}
+
+TEST(BlockStore, ReaderAndWriterViews) {
+  const Chain chain = small_chain();
+  BlockStore store;
+  const BlockWriter writer(store);
+  writer.put(HashedBlock(chain.at_height(1)));
+
+  const BlockReader reader = writer.reader();
+  EXPECT_TRUE(reader.has_block(chain.at_height(1).hash()));
+  EXPECT_EQ(reader.block_count(), 1u);
+  const BlockRef ref = reader.block_by_hash(chain.at_height(1).hash());
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref->hash(), chain.at_height(1).hash());
+
+  EXPECT_EQ(writer.prune(chain.at_height(1).hash()), chain.at_height(1).serialized_size());
+  EXPECT_FALSE(reader.has_block(chain.at_height(1).hash()));
 }
 
 TEST(StorageMeter, SnapshotAggregates) {
   const Chain chain = small_chain();
   BlockStore a, b;
-  a.put_block(chain.at_height(1));
-  b.put_block(chain.at_height(1));
-  b.put_block(chain.at_height(2));
+  a.put(HashedBlock(chain.at_height(1)));
+  b.put(HashedBlock(chain.at_height(1)));
+  b.put(HashedBlock(chain.at_height(2)));
 
   const StorageSnapshot snap = StorageMeter::snapshot({&a, &b});
   EXPECT_EQ(snap.node_count, 2u);

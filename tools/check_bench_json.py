@@ -95,6 +95,13 @@ def check_file(path):
     shards = doc["config"].get("shards")
     if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
         fail(path, f"config.shards: expected integer >= 1 (got {shards!r})")
+    # ... and the storage backend (PR 10): mem and disk runs are
+    # metric-identical by design, so the artifact has to say which one
+    # produced it.
+    store_backend = doc["config"].get("store_backend")
+    if store_backend not in ("mem", "disk"):
+        fail(path, "config.store_backend: expected 'mem' or 'disk' "
+                   f"(got {store_backend!r})")
     expected_file = f"BENCH_{doc['name']}.json"
     if os.path.basename(path) != expected_file:
         fail(path, f"filename should be {expected_file} for name '{doc['name']}'")
@@ -298,6 +305,68 @@ def check_file(path):
             if doc["counters"][name] < 1:
                 fail(path, f"counters['{name}']: expected >= 1 "
                            f"(got {doc['counters'][name]!r})")
+
+    # The store.* counter block (PR 10, docs/STORAGE.md). exp24 measures the
+    # disk backend directly, so its artifact must always carry the block with
+    # live write-queue and cold-read evidence; any OTHER artifact produced by
+    # a --store disk run must carry it too, or there is no evidence the
+    # persistent backend actually ran.
+    STORE_COUNTERS = ("store.puts", "store.dup_puts", "store.staged_puts",
+                      "store.wq_enqueued", "store.wq_retired", "store.wq_depth",
+                      "store.wq_depth_peak", "store.warm_reads",
+                      "store.cold_reads", "store.cold_read_bytes",
+                      "store.segments", "store.segment_bytes",
+                      "store.appended_bytes", "store.tombstones",
+                      "store.compactions", "store.reclaimed_bytes",
+                      "store.manifest_writes", "store.recovered_blocks",
+                      "store.truncated_tail_bytes")
+    if doc["name"] == "exp24_coldstart" or store_backend == "disk":
+        for name in STORE_COUNTERS:
+            if name not in doc["counters"]:
+                fail(path, f"counters: missing '{name}'")
+        for name in ("store.puts", "store.staged_puts", "store.appended_bytes"):
+            if doc["counters"][name] < 1:
+                fail(path, f"counters['{name}']: expected >= 1 "
+                           f"(got {doc['counters'][name]!r})")
+        if doc["counters"]["store.wq_retired"] != doc["counters"]["store.wq_enqueued"]:
+            fail(path, "counters: store.wq_retired != store.wq_enqueued "
+                       "(writes left in flight at capture)")
+
+    # exp24 (cold-start cost) compares the same deployment over both
+    # backends: one completed-bootstrap row per backend, each with the
+    # cold/warm split that backs the persistence-cost claim.
+    if doc["name"] == "exp24_coldstart":
+        backends = {}
+        for i, row in enumerate(doc["rows"]):
+            values = row["values"]
+            backend = values.get("backend")
+            if backend not in ("mem", "disk"):
+                fail(path, f"rows[{i}].values['backend']: expected 'mem' or "
+                           f"'disk' (got {backend!r})")
+            backends[backend] = values
+            if values.get("bootstrap_complete") is not True:
+                fail(path, f"rows[{i}]: bootstrap must complete "
+                           f"(bootstrap_complete)")
+            for key in ("bootstrap_us", "bytes_downloaded", "bodies_fetched"):
+                v = values.get(key)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                    fail(path, f"rows[{i}].values['{key}']: expected integer "
+                               f">= 1 (got {v!r})")
+            for key in ("cold_reads", "warm_reads", "retrieval_p50_us",
+                        "retrieval_p99_us"):
+                v = values.get(key)
+                if (not isinstance(v, (int, float)) or isinstance(v, bool)
+                        or v < 0):
+                    fail(path, f"rows[{i}].values['{key}']: expected "
+                               f"non-negative number (got {v!r})")
+        for backend in ("mem", "disk"):
+            if backend not in backends:
+                fail(path, f"rows: missing backend '{backend}'")
+        if backends["disk"].get("cold_reads", 0) < 1:
+            fail(path, "rows: the disk run never read cold "
+                       "(cold_reads >= 1 expected)")
+        if backends["mem"].get("cold_reads", 0) != 0:
+            fail(path, "rows: the mem run reported cold reads")
 
     for name, value in doc["counters"].items():
         if not isinstance(value, int) or isinstance(value, bool):

@@ -111,6 +111,9 @@ int main(int argc, char** argv) {
   net_cfg.ici.clustering = clustering;
   net_cfg.seed = seed;
   net_cfg.sync_serve_rate_bps = sync_serve_rate;
+  net_cfg.store.backend = opts.store;
+  net_cfg.store.io_write_us = opts.io_write_us;
+  net_cfg.store.io_read_us = opts.io_read_us;
 
   std::unique_ptr<core::IciNetwork> network;
   try {
@@ -133,6 +136,7 @@ int main(int argc, char** argv) {
   report.set_config("threads", ThreadPool::global().thread_count());
   report.set_config("cpu_backend", std::string(cpu::backend_name()));
   report.set_config("shards", sim::default_shards());
+  report.set_config("store_backend", opts.store);
   if (sync_serve_rate > 0.0) report.set_config("sync_serve_rate_bps", sync_serve_rate);
   report.set_config("churn", churn);
   if (churn) report.set_config("churn_fraction", churn_fraction);
