@@ -36,21 +36,26 @@ inline void print_experiment_header(const std::string& id, const std::string& ti
 /// one place, so a new shared flag registers once.
 using ici::BenchOptions;
 
-/// The --store value of the current run, stamped into every artifact as
-/// config.store_backend (set by parse_bench_options, read by
-/// record_thread_config — same process-global pattern as the shard count).
+/// The store backend the bench actually constructed, stamped into the
+/// artifact as config.store_backend (read by record_thread_config — same
+/// process-global pattern as the shard count). Set by store_config_from,
+/// NOT by flag parsing: a bench that ignores --store truthfully stamps
+/// "mem", so an artifact claiming "disk" always carries the store.*
+/// instrumentation the schema checker demands of disk captures.
 inline std::string& current_store_backend() {
   static std::string backend = "mem";
   return backend;
 }
 
 /// Translates the shared --store/--io-write-us/--io-read-us flags into the
-/// StoreConfig embedded in facade configs and core::StrategyConfig.
+/// StoreConfig embedded in facade configs and core::StrategyConfig, and
+/// records the choice for the artifact's config.store_backend stamp.
 inline StoreConfig store_config_from(const BenchOptions& opts) {
   StoreConfig cfg;
   cfg.backend = opts.store;
   cfg.io_write_us = opts.io_write_us;
   cfg.io_read_us = opts.io_read_us;
+  current_store_backend() = opts.store;
   return cfg;
 }
 
@@ -62,7 +67,6 @@ inline BenchOptions parse_bench_options(int argc, char** argv, std::string_view 
   // --shards routes through sim/ (a layer common/flags.cpp cannot link):
   // every facade built after this picks the lane count up as its default.
   sim::set_default_shards(std::max<std::uint64_t>(1, opts.shards));
-  current_store_backend() = opts.store;
   return opts;
 }
 

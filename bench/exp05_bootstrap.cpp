@@ -41,17 +41,22 @@ int main(int argc, char** argv) {
   Table table({"blocks", "system", "bytes downloaded", "sim time (s)", "bodies fetched",
                "peers", "ranges", "vs full-rep"});
 
+  const StoreConfig store = store_config_from(opts);
+  StoreCounters store_totals;
   for (const std::size_t blocks : block_counts) {
     const Chain chain = make_chain(blocks, kTxs, kSeed);
 
-    auto fullrep = make_fullrep_preloaded(chain, kNodes);
+    auto fullrep = make_fullrep_preloaded(chain, kNodes, store);
     const auto fr = fullrep->bootstrap({50, 50});
+    store_totals += sum_store_counters(fullrep->stores());
 
-    auto rapidchain = make_rapidchain_preloaded(chain, kNodes, kRcCommittees);
+    auto rapidchain = make_rapidchain_preloaded(chain, kNodes, kRcCommittees, store);
     const auto rc = rapidchain->bootstrap({50, 50});
+    store_totals += sum_store_counters(rapidchain->stores());
 
-    auto ici = make_ici_preloaded(chain, kNodes, kIciClusters);
+    auto ici = make_ici_preloaded(chain, kNodes, kIciClusters, /*replication=*/1, store);
     const auto ic = core::Bootstrapper::join(*ici, {50, 50});
+    store_totals += sum_store_counters(ici->stores());
 
     const auto row = [&](const char* name, std::uint64_t bytes, sim::SimTime t,
                          std::size_t bodies, const sync::SyncReport& sync) {
@@ -83,6 +88,10 @@ int main(int argc, char** argv) {
     row("ici", ic.bytes_downloaded, ic.elapsed_us, ic.bodies_fetched, ic.sync);
   }
   table.print(std::cout);
+  // With --store disk the joins above served every body off the segment
+  // logs; the artifact carries the summed backend instrumentation the
+  // schema checker requires of disk captures.
+  add_store_counters(report, store_totals);
   std::cout << "\nExpected shape: full-rep downloads the whole ledger; rapidchain one shard "
                "(D/k); ici only headers + ~1/m of bodies — the cheapest join, and the gap "
                "grows with chain length. All rows are protocol-measured (bulk-sync ranges "

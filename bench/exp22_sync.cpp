@@ -68,6 +68,8 @@ int main(int argc, char** argv) {
   // sync.* metrics aggregated across all runs (each run has its own network
   // registry; the artifact carries the union).
   metrics::Registry agg;
+  const StoreConfig store = store_config_from(opts);
+  StoreCounters store_totals;
 
   for (const std::size_t blocks : heights) {
     const Chain chain = make_chain(blocks, kTxs, kSeed);
@@ -75,7 +77,7 @@ int main(int argc, char** argv) {
     sim::SimTime t_clean = 0;
 
     const auto run_plan = [&](const char* plan_name) {
-      auto net = make_ici_preloaded(chain, kNodes, kClusters);
+      auto net = make_ici_preloaded(chain, kNodes, kClusters, /*replication=*/1, store);
       const cluster::NodeId joiner = core::Bootstrapper::add_joiner_nearest(*net, {50, 50});
       const sim::SimTime now = net->simulator().now();
 
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
 
       const auto r = core::Bootstrapper::run(*net, joiner, sync::SyncConfig{});
       const JoinerState state = capture_state(*net, joiner);
+      store_totals += sum_store_counters(net->stores());
       if (std::string_view(plan_name) == "none") {
         clean_state = state;
         t_clean = r.sync.time_to_synced_us;
@@ -154,6 +157,10 @@ int main(int argc, char** argv) {
                "run; the drop plan completes with retried ranges; bytes spread across "
                "multiple source peers.\n";
   report.capture_registry(agg);
+  // With --store disk every serve above read bodies off the segment logs;
+  // the artifact carries the summed backend instrumentation the schema
+  // checker requires of disk captures.
+  add_store_counters(report, store_totals);
   finish_report(report, kNodes);
   return 0;
 }

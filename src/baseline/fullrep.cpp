@@ -69,7 +69,9 @@ void FullRepNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
       const auto header = store_.header_at(h);
       if (!header) break;
       if (BlockRef ref = store_.block_by_hash(header->hash())) {
-        io_delay += ref.io_delay_us;
+        // io_delay_us is completion-relative (queued behind same-instant
+        // reads already), so the batch finishes at the max, not the sum.
+        io_delay = std::max(io_delay, ref.io_delay_us);
         resp->blocks.push_back(ref.share());
       }
     }

@@ -35,7 +35,9 @@ void RapidChainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
     std::uint64_t io_delay = 0;
     for (const Hash256& h : store_.stored_hashes()) {
       if (BlockRef ref = store_.block_by_hash(h)) {
-        io_delay += ref.io_delay_us;
+        // io_delay_us is completion-relative (queued behind same-instant
+        // reads already), so the batch finishes at the max, not the sum.
+        io_delay = std::max(io_delay, ref.io_delay_us);
         resp->blocks.push_back(ref.share());
       }
     }

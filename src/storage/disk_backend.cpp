@@ -66,7 +66,21 @@ void DiskBackend::recover() {
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     const std::string name = entry.path().filename().string();
     if (name.rfind("seg-", 0) != 0) continue;
-    ids.push_back(static_cast<std::uint32_t>(std::stoul(name.substr(4))));
+    // Only names segment_path() itself produces count: an all-digit suffix
+    // (>= 6 digits from %06u, no leading zero past six, and short enough to
+    // fit u32). Anything else — "seg-old", "seg-000001.bak" — is foreign;
+    // a loose parse would either throw or alias onto a real segment id and
+    // scan it twice, inflating dead_bytes_ and the counters.
+    const std::string suffix = name.substr(4);
+    const bool digits = !suffix.empty() &&
+                        std::all_of(suffix.begin(), suffix.end(), [](unsigned char c) {
+                          return c >= '0' && c <= '9';
+                        });
+    if (!digits || suffix.size() < 6 || suffix.size() > 9 ||
+        (suffix.size() > 6 && suffix.front() == '0')) {
+      continue;
+    }
+    ids.push_back(static_cast<std::uint32_t>(std::stoul(suffix)));
   }
   std::sort(ids.begin(), ids.end());
 
@@ -267,6 +281,13 @@ std::uint64_t DiskBackend::erase(const Hash256& hash) {
     // Never reached media: cancel the queued write (the pending retirement
     // event becomes a no-op via the ticket).
     const std::uint64_t freed = it->second.block->serialized_size();
+    // If the cancelled write is the queue tail (tickets are issued in
+    // enqueue order), give its device slot back so later writes don't
+    // queue behind an append that never happens. A non-tail cancel keeps
+    // its slot — the writes behind it were scheduled around it already.
+    if (it->second.ticket == ticket_seq_ && write_busy_until_ >= cfg_.io_write_us) {
+      write_busy_until_ -= cfg_.io_write_us;
+    }
     staged_.erase(it);
     ++counters_.wq_retired;
     --counters_.wq_depth;

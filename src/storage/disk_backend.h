@@ -24,7 +24,10 @@
 //
 // erase() cancels a staged write outright or appends a tombstone; when dead
 // bytes exceed StoreConfig::compact_threshold of the log, the live records
-// are rewritten into fresh segments and the old files deleted.
+// are rewritten into fresh segments and the old files deleted. Cancelling
+// the write-queue tail rolls the write clock back (the device slot is
+// reclaimed); cancelling mid-queue does not — retirement events for the
+// writes behind it are already scheduled around the cancelled slot.
 #pragma once
 
 #include <cstdio>

@@ -17,6 +17,16 @@ StoreRuntime::StoreRuntime(StoreConfig cfg) : cfg_(std::move(cfg)) {
   if (!cfg_.dir.empty()) {
     root_ = cfg_.dir;
     std::filesystem::create_directories(root_);
+    // A reused root must not leak a previous run's segments into this one:
+    // DiskBackend recovery would silently resurrect stale blocks, changing
+    // dup_puts/warm-read behaviour and run-to-run reproducibility. Start
+    // every run from fresh node directories; the root itself survives
+    // teardown so a caller-supplied dir can be inspected afterwards.
+    for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+      if (entry.path().filename().string().rfind("node-", 0) == 0) {
+        std::filesystem::remove_all(entry.path());
+      }
+    }
     return;
   }
   std::string tmpl =

@@ -4,6 +4,9 @@
 // and BlockStore keeps its MemBackend). With "disk" each node gets
 // <root>/node-<id>; when StoreConfig::dir is empty the root is a fresh
 // temp directory removed on destruction, so benches leave nothing behind.
+// A caller-supplied dir is kept on teardown, but its node-* subdirectories
+// are cleared on construction — every run starts from empty per-node logs,
+// never from a previous run's recovered segments.
 #pragma once
 
 #include <filesystem>

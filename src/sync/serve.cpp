@@ -42,11 +42,16 @@ ServedRange serve_range(BlockReader store, const RangeRequestMsg& req) {
   resp->count = req.count;
   std::uint64_t io_delay = 0;
 
+  // Each fetch's io_delay_us is completion-relative: the backend's
+  // serialized read clock already queues this read behind every earlier
+  // read issued at the same sim instant, so the delay of the *last* cold
+  // read is when all of them are off the media. Aggregate with max —
+  // summing would charge the queueing twice (quadratic in batch size).
   if (req.mode == PullMode::kListedBodies) {
     resp->bodies.reserve(req.want.size());
     for (const auto& hash : req.want) {
       if (BlockRef ref = store.block_by_hash(hash)) {
-        io_delay += ref.io_delay_us;
+        io_delay = std::max(io_delay, ref.io_delay_us);
         resp->bodies.push_back(ref.share());
       }
     }
@@ -60,7 +65,7 @@ ServedRange serve_range(BlockReader store, const RangeRequestMsg& req) {
     resp->headers.push_back(*header);
     if (req.mode == PullMode::kHeadersAndBodies) {
       if (BlockRef ref = store.block_by_hash(header->hash())) {
-        io_delay += ref.io_delay_us;
+        io_delay = std::max(io_delay, ref.io_delay_us);
         resp->bodies.push_back(ref.share());
       }
     }

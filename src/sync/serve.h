@@ -59,8 +59,10 @@ class ServeThrottle {
                                              bool serves_shards);
 
 /// A built range response plus the simulated IO cost of assembling it:
-/// the summed cold-read delay of every body fetched from persistent media
-/// (always 0 with the in-memory backend). The caller defers the send by
+/// the completion delay of the batch's cold reads (each fetch's delay is
+/// relative to now and already includes queueing behind the earlier reads
+/// on the node's serialized read head, so the batch completes at the max;
+/// always 0 with the in-memory backend). The caller defers the send by
 /// `io_delay_us` so disk-backed serving pays for its reads in sim time.
 struct ServedRange {
   sim::MessagePtr msg;

@@ -20,6 +20,8 @@
 #include "ici/network.h"
 #include "storage/block_store.h"
 #include "storage/store_metrics.h"
+#include "storage/store_runtime.h"
+#include "sync/serve.h"
 
 namespace ici {
 namespace {
@@ -134,21 +136,30 @@ TEST_F(DiskBackendTest, ErasingStagedWriteCancelsTheAppend) {
   DiskBackend backend(cfg, dir_);
 
   std::uint64_t now = 0;
-  std::vector<std::function<void()>> events;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> events;
   IoEnv env;
   env.now = [&now] { return now; };
-  env.schedule_at = [&events](std::uint64_t, std::function<void()> fn) {
-    events.push_back(std::move(fn));
+  env.schedule_at = [&events](std::uint64_t at, std::function<void()> fn) {
+    events.emplace_back(at, std::move(fn));
   };
   backend.set_io_env(std::move(env));
 
   const Block& b = chain.at_height(1);
   backend.put(b.hash(), std::make_shared<const Block>(b));
   EXPECT_EQ(backend.erase(b.hash()), b.serialized_size());
-  for (auto& fn : events) fn();  // stale retirement must be a no-op
+  for (auto& [at, fn] : events) fn();  // stale retirement must be a no-op
   EXPECT_FALSE(backend.contains(b.hash()));
   EXPECT_EQ(backend.counters().appended_bytes, 0u);
   EXPECT_EQ(backend.counters().tombstones, 0u);  // never reached media
+
+  // Cancelling the queue tail reclaims its device slot: the next write
+  // retires one service time from now, not queued behind an append that
+  // never happened.
+  events.clear();
+  const Block& b2 = chain.at_height(2);
+  backend.put(b2.hash(), std::make_shared<const Block>(b2));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, now + cfg.io_write_us);
 }
 
 TEST_F(DiskBackendTest, RecoversIndexAndSkipsTornTail) {
@@ -199,6 +210,80 @@ TEST_F(DiskBackendTest, RecoversIndexAndSkipsTornTail) {
   EXPECT_EQ(again.count(), hashes.size());
 }
 
+TEST_F(DiskBackendTest, RecoveryIgnoresForeignSegmentNames) {
+  const Chain chain = small_chain();
+  StoreConfig cfg;
+  cfg.backend = "disk";
+  std::uint64_t bytes_written = 0;
+  {
+    DiskBackend backend(cfg, dir_);
+    for (std::size_t h = 1; h < chain.size(); ++h) {
+      const Block& b = chain.at_height(h);
+      backend.put(b.hash(), std::make_shared<const Block>(b));
+    }
+    bytes_written = backend.counters().segment_bytes;
+    backend.flush();
+  }
+
+  // Stray files a loose "seg-" prefix match would trip over: a non-numeric
+  // suffix used to throw out of std::stoul and abort the open, and a copy
+  // like "seg-000000.bak" parsed to the real segment's id, scanning it
+  // twice and inflating the byte counters.
+  fs::copy_file(dir_ / "seg-000000", dir_ / "seg-000000.bak");
+  for (const char* name : {"seg-old", "seg-0000000", "seg-12345"}) {
+    std::FILE* f = std::fopen((dir_ / name).string().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a segment", f);
+    std::fclose(f);
+  }
+
+  DiskBackend reopened(cfg, dir_);
+  EXPECT_EQ(reopened.count(), chain.size() - 1);
+  EXPECT_EQ(reopened.counters().recovered_blocks, chain.size() - 1);
+  EXPECT_EQ(reopened.counters().segment_bytes, bytes_written);
+  for (std::size_t h = 1; h < chain.size(); ++h) {
+    EXPECT_TRUE(reopened.contains(chain.at_height(h).hash())) << "height " << h;
+  }
+}
+
+// Regression: a batch of cold reads issued at one sim instant completes at
+// the *last* read's delay — each fetch's io_delay_us is completion-relative
+// and already includes queueing behind the batch's earlier reads — so
+// serve_range must aggregate with max. Summing double-counted the queueing
+// (k(k+1)/2 * io_read_us for k bodies instead of k * io_read_us).
+TEST_F(DiskBackendTest, ServeRangeChargesBatchCompletionNotSum) {
+  const Chain chain = small_chain();
+  StoreConfig cfg;
+  cfg.backend = "disk";
+  auto backend = std::make_unique<DiskBackend>(cfg, dir_);
+
+  std::uint64_t now = 0;
+  std::vector<std::function<void()>> events;
+  IoEnv env;
+  env.now = [&now] { return now; };
+  env.schedule_at = [&events](std::uint64_t, std::function<void()> fn) {
+    events.push_back(std::move(fn));
+  };
+  backend->set_io_env(std::move(env));
+
+  BlockStore store;
+  store.set_backend(std::move(backend));
+  sync::RangeRequestMsg req;
+  req.mode = sync::PullMode::kListedBodies;
+  for (std::size_t h = 1; h < chain.size(); ++h) {
+    const Block& b = chain.at_height(h);
+    store.put(HashedBlock(std::make_shared<const Block>(b), b.hash()));
+    req.want.push_back(b.hash());
+  }
+  for (auto& fn : events) fn();  // retire every staged append: reads go cold
+
+  const sync::ServedRange served = sync::serve_range(store, req);
+  const auto* resp = dynamic_cast<const sync::RangeResponseMsg*>(served.msg.get());
+  ASSERT_NE(resp, nullptr);
+  ASSERT_EQ(resp->bodies.size(), chain.size() - 1);
+  EXPECT_EQ(served.io_delay_us, (chain.size() - 1) * cfg.io_read_us);
+}
+
 TEST_F(DiskBackendTest, CompactionReclaimsDeadSpace) {
   const Chain chain = small_chain(10);
   StoreConfig cfg;
@@ -232,6 +317,33 @@ TEST_F(DiskBackendTest, CompactionReclaimsDeadSpace) {
   backend.flush();
   DiskBackend reopened(cfg, dir_);
   EXPECT_EQ(reopened.count(), 2u);
+}
+
+// Regression: reusing a caller-supplied root must not let DiskBackend
+// recovery resurrect a previous run's segments (stale blocks would flip
+// dup_puts/warm-read behaviour and break run-to-run reproducibility). The
+// root itself survives teardown; only the per-node logs start fresh.
+TEST_F(DiskBackendTest, StoreRuntimeClearsReusedSuppliedDir) {
+  const Chain chain = small_chain();
+  StoreConfig cfg;
+  cfg.backend = "disk";
+  cfg.dir = dir_.string();
+  {
+    const StoreRuntime runtime(cfg);
+    const auto backend = runtime.make_backend(0);
+    ASSERT_NE(backend, nullptr);
+    const Block& b = chain.at_height(1);
+    backend->put(b.hash(), std::make_shared<const Block>(b));
+    backend->flush();
+  }
+  ASSERT_TRUE(fs::exists(dir_ / "node-0"));  // supplied dir survives teardown
+
+  const StoreRuntime reused(cfg);
+  const auto backend = reused.make_backend(0);
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->count(), 0u);
+  EXPECT_EQ(backend->counters().recovered_blocks, 0u);
+  EXPECT_FALSE(backend->contains(chain.at_height(1).hash()));
 }
 
 // --- determinism contract ---------------------------------------------------
